@@ -1,0 +1,90 @@
+// Command fxaasm assembles a source file into a loadable program image
+// and optionally disassembles or executes it on the functional emulator.
+//
+// Usage:
+//
+//	fxaasm [-run] [-d] [-n max] file.s
+//
+//	-d    disassemble the code segments after assembly
+//	-run  execute on the functional emulator and dump final register state
+//	-n    instruction limit for -run (default 1,000,000)
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"fxa/internal/asm"
+	"fxa/internal/emu"
+	"fxa/internal/isa"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute on the functional emulator")
+	dis := flag.Bool("d", false, "disassemble code segments")
+	n := flag.Uint64("n", 1_000_000, "instruction limit for -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fxaasm [-run] [-d] [-n max] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var total int
+	for _, seg := range prog.Segments {
+		total += len(seg.Data)
+	}
+	fmt.Printf("entry %#x, %d segment(s), %d bytes\n", prog.Entry, len(prog.Segments), total)
+	for _, seg := range prog.Segments {
+		fmt.Printf("  segment %#x..%#x (%d bytes)\n", seg.Addr, seg.Addr+uint64(len(seg.Data)), len(seg.Data))
+	}
+
+	if *dis {
+		for _, seg := range prog.Segments {
+			for off := 0; off+4 <= len(seg.Data); off += 4 {
+				w := binary.LittleEndian.Uint32(seg.Data[off:])
+				in, err := isa.Decode(w)
+				if err != nil {
+					continue // data, not code
+				}
+				fmt.Printf("%#08x:  %08x  %s\n", seg.Addr+uint64(off), w, in)
+			}
+		}
+	}
+
+	if *run {
+		m := emu.New(prog)
+		executed, err := m.Run(*n)
+		if err != nil {
+			fatal(err)
+		}
+		status := "halted"
+		if !m.Halt {
+			status = "limit reached"
+		}
+		fmt.Printf("\nexecuted %d instructions (%s), PC %#x\n", executed, status, m.PC)
+		for i := 0; i < isa.NumIntRegs; i++ {
+			if m.R[i] != 0 {
+				fmt.Printf("  r%-2d = %d (%#x)\n", i, int64(m.R[i]), m.R[i])
+			}
+		}
+		for i := 0; i < isa.NumFPRegs; i++ {
+			if m.F[i] != 0 {
+				fmt.Printf("  f%-2d = %g\n", i, m.F[i])
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fxaasm:", err)
+	os.Exit(1)
+}

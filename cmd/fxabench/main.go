@@ -1,0 +1,170 @@
+// Command fxabench regenerates the paper's evaluation: every table and
+// figure of Section VI, printed as aligned text tables.
+//
+// Usage:
+//
+//	fxabench [-n insts] [-experiment all|table1|table2|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|headline] [-format text|csv|markdown] [-q]
+//
+// The main sweep (figures 7, 8a, 8b, 10 and the headline numbers) runs
+// every SPEC CPU 2006 proxy on every model once and derives all views from
+// that single evaluation. Figures 11-13 run their own design-space sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fxa"
+	"fxa/internal/energy"
+)
+
+// renderable is anything the report package can emit in all formats.
+type renderable interface {
+	Render(w io.Writer)
+	CSV(w io.Writer)
+	Markdown(w io.Writer)
+}
+
+func main() {
+	n := flag.Uint64("n", 300_000, "dynamic instructions per benchmark run")
+	exp := flag.String("experiment", "all", "which experiment to run (all, table1, table2, fig7, fig8a, fig8b, fig9, fig10, fig11, fig12, fig13, headline)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	format := flag.String("format", "text", "output format: text, csv, or markdown")
+	flag.Parse()
+
+	show := func(r renderable) {
+		switch *format {
+		case "csv":
+			r.CSV(os.Stdout)
+		case "markdown":
+			r.Markdown(os.Stdout)
+		default:
+			r.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	progress := func(stage string) func(...string) {
+		if *quiet {
+			return func(...string) {}
+		}
+		return func(parts ...string) {
+			fmt.Fprintf(os.Stderr, "\r%-60s", stage+": "+strings.Join(parts, " on "))
+		}
+	}
+	done := func() {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r%-60s\r", "")
+		}
+	}
+
+	wants := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if wants("table1") {
+		show(fxa.Table1())
+	}
+	if wants("table2") {
+		show(fxa.Table2())
+	}
+
+	needSweep := false
+	for _, e := range []string{"fig7", "fig8a", "fig8b", "fig10", "headline"} {
+		if wants(e) {
+			needSweep = true
+		}
+	}
+	var ev *fxa.Evaluation
+	if needSweep {
+		p := progress("main sweep")
+		var err error
+		ev, err = fxa.RunEvaluation(*n, func(w, m string) { p(w, m) })
+		done()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if wants("fig7") {
+		show(ev.Figure7Table())
+	}
+	if wants("fig8a") {
+		show(ev.Figure8aTable())
+	}
+	if wants("fig8b") {
+		show(ev.Figure8bTable())
+	}
+	if wants("fig9") {
+		whole, detail := fxa.Figure9Tables()
+		show(whole)
+		show(detail)
+	}
+	if wants("fig10") {
+		show(ev.Figure10Table())
+	}
+	if wants("fig11") {
+		p := progress("figure 11 sweep")
+		s, err := fxa.RunFigure11(*n, func(l string) { p(l) })
+		done()
+		if err != nil {
+			fatal(err)
+		}
+		show(s)
+	}
+	if wants("fig12") || wants("fig13") {
+		p := progress("figure 12/13 sweep")
+		f12, f13, err := fxa.RunFigure1213(*n, func(l string) { p(l) })
+		done()
+		if err != nil {
+			fatal(err)
+		}
+		if wants("fig12") {
+			show(f12)
+		}
+		if wants("fig13") {
+			show(f13)
+		}
+	}
+	if wants("headline") {
+		printHeadline(ev)
+	}
+}
+
+// printHeadline reports the paper's summary numbers (Sections VI-C/D/G,
+// IV-A) next to the measured values.
+func printHeadline(ev *fxa.Evaluation) {
+	fmt.Println("Headline numbers (paper -> measured):")
+	row := func(what string, paper float64, measured float64) {
+		fmt.Printf("  %-52s paper %6.3f   measured %6.3f\n", what, paper, measured)
+	}
+	row("HALF+FX IPC vs BIG (geomean ALL)", 1.057, ev.GeomeanRelIPC("HALF+FX", fxa.GroupALL))
+	row("HALF+FX IPC vs BIG (geomean INT)", 1.074, ev.GeomeanRelIPC("HALF+FX", fxa.GroupINT))
+	row("HALF+FX IPC vs BIG (geomean FP)", 1.045, ev.GeomeanRelIPC("HALF+FX", fxa.GroupFP))
+	if r, err := ev.RowByName("libquantum"); err == nil {
+		row("libquantum HALF+FX IPC vs BIG (max in paper)", 1.67, r.RelIPC("HALF+FX"))
+	}
+	row("LITTLE IPC vs BIG", 0.60, ev.GeomeanRelIPC("LITTLE", fxa.GroupALL))
+	row("HALF IPC vs BIG", 0.84, ev.GeomeanRelIPC("HALF", fxa.GroupALL))
+	row("HALF+FX total energy vs BIG", 0.83, ev.TotalEnergyRatio("HALF+FX"))
+	row("BIG+FX total energy vs BIG", 0.913, ev.TotalEnergyRatio("BIG+FX"))
+	row("LITTLE total energy vs BIG", 0.60, ev.TotalEnergyRatio("LITTLE"))
+	row("HALF+FX IQ energy vs BIG", 0.14, ev.EnergyRatio("HALF+FX", energy.IQ))
+	row("HALF+FX LSQ energy vs BIG", 0.77, ev.EnergyRatio("HALF+FX", energy.LSQ))
+	row("HALF+FX PER vs BIG", 1.25, ev.PER("HALF+FX", fxa.GroupALL))
+	perLittle := ev.PER("LITTLE", fxa.GroupALL)
+	if perLittle > 0 {
+		row("HALF+FX PER vs LITTLE", 1.27, ev.PER("HALF+FX", fxa.GroupALL)/perLittle)
+	}
+	row("IXU execution rate (ALL)", 0.54, ev.GeomeanIXURate("HALF+FX", fxa.GroupALL))
+	row("IXU execution rate (INT)", 0.61, ev.GeomeanIXURate("HALF+FX", fxa.GroupINT))
+	row("IXU execution rate (FP)", 0.51, ev.GeomeanIXURate("HALF+FX", fxa.GroupFP))
+	row("category (a): ready at IXU entry", 0.055, ev.ReadyAtEntryRate("HALF+FX"))
+	bigA, fxA := fxa.AreaOf(fxa.Big()), fxa.AreaOf(fxa.HalfFX())
+	row("HALF+FX area vs BIG", 1.027, fxA.Total()/bigA.Total())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fxabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,315 @@
+package fxa
+
+import (
+	"fmt"
+	"math"
+
+	"fxa/internal/config"
+	"fxa/internal/energy"
+)
+
+// EnergyBreakdown re-exports the per-component energy split.
+type EnergyBreakdown = energy.Breakdown
+
+// AreaBreakdown re-exports the per-component area split.
+type AreaBreakdown = energy.AreaBreakdown
+
+// Component re-exports the breakdown component identifiers.
+type Component = energy.Component
+
+// Components returns the breakdown components in figure order.
+func Components() []Component { return energy.Components() }
+
+// EnergyOf estimates the energy breakdown of a run under the Table II
+// device configuration.
+func EnergyOf(m Model, r Result) EnergyBreakdown {
+	return energy.Estimate(m, config.DefaultDevice(), r)
+}
+
+// AreaOf computes the circuit-area breakdown of a model (Figure 9).
+func AreaOf(m Model) AreaBreakdown { return energy.AreaOf(m) }
+
+// BenchResult holds one workload's results across all evaluated models.
+type BenchResult struct {
+	Workload Workload
+	Res      map[string]Result
+	Energy   map[string]EnergyBreakdown
+}
+
+// Evaluation is the full Section VI sweep: every workload on every model,
+// with energies. All figure-level views derive from it.
+type Evaluation struct {
+	MaxInsts uint64
+	Models   []Model
+	Rows     []BenchResult
+}
+
+// RunEvaluation runs all 29 proxies on all five models for maxInsts
+// dynamic instructions each and estimates energies. progress, if non-nil,
+// is called after each (workload, model) run.
+func RunEvaluation(maxInsts uint64, progress func(workload, model string)) (*Evaluation, error) {
+	ev := &Evaluation{MaxInsts: maxInsts, Models: Models()}
+	for _, w := range Workloads() {
+		row := BenchResult{
+			Workload: w,
+			Res:      make(map[string]Result, len(ev.Models)),
+			Energy:   make(map[string]EnergyBreakdown, len(ev.Models)),
+		}
+		for _, m := range ev.Models {
+			res, err := Run(m, w, maxInsts)
+			if err != nil {
+				return nil, err
+			}
+			row.Res[m.Name] = res
+			row.Energy[m.Name] = EnergyOf(m, res)
+			if progress != nil {
+				progress(w.Name, m.Name)
+			}
+		}
+		ev.Rows = append(ev.Rows, row)
+	}
+	return ev, nil
+}
+
+// Group selects a benchmark-group slice of the evaluation.
+type Group int
+
+const (
+	GroupINT Group = iota
+	GroupFP
+	GroupALL
+)
+
+// String returns the paper's group label.
+func (g Group) String() string {
+	switch g {
+	case GroupINT:
+		return "INT"
+	case GroupFP:
+		return "FP"
+	default:
+		return "ALL"
+	}
+}
+
+func (g Group) match(w Workload) bool {
+	switch g {
+	case GroupINT:
+		return !w.FP
+	case GroupFP:
+		return w.FP
+	default:
+		return true
+	}
+}
+
+// geomean returns the geometric mean of f over the group's rows.
+func (ev *Evaluation) geomean(g Group, f func(BenchResult) float64) float64 {
+	logSum, n := 0.0, 0
+	for _, r := range ev.Rows {
+		if !g.match(r.Workload) {
+			continue
+		}
+		v := f(r)
+		if v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// RelIPC returns a workload's IPC on model relative to BIG (Figure 7).
+func (r BenchResult) RelIPC(model string) float64 {
+	bigRes := r.Res["BIG"]
+	big := bigRes.Counters.IPC()
+	if big == 0 {
+		return 0
+	}
+	mres := r.Res[model]
+	return mres.Counters.IPC() / big
+}
+
+// GeomeanRelIPC returns the group geometric-mean IPC relative to BIG
+// (the mean(INT)/mean(FP)/mean bars of Figure 7).
+func (ev *Evaluation) GeomeanRelIPC(model string, g Group) float64 {
+	return ev.geomean(g, func(r BenchResult) float64 { return r.RelIPC(model) })
+}
+
+// MeanEnergyByComponent returns each model's per-component energy,
+// averaged (arithmetic, per-instruction) across all workloads and
+// normalized so BIG's total is 1 (Figure 8a).
+func (ev *Evaluation) MeanEnergyByComponent() map[string][energy.NumComponents]float64 {
+	sums := make(map[string][energy.NumComponents]float64)
+	for _, m := range ev.Models {
+		var acc [energy.NumComponents]float64
+		for _, r := range ev.Rows {
+			e := r.Energy[m.Name]
+			insts := float64(r.Res[m.Name].Counters.Committed)
+			for c := 0; c < int(energy.NumComponents); c++ {
+				acc[c] += (e.Dynamic[c] + e.Static[c]) / insts
+			}
+		}
+		for c := range acc {
+			acc[c] /= float64(len(ev.Rows))
+		}
+		sums[m.Name] = acc
+	}
+	// Normalize to BIG's total.
+	var bigTotal float64
+	for _, v := range sums["BIG"] {
+		bigTotal += v
+	}
+	if bigTotal > 0 {
+		for name, arr := range sums {
+			for c := range arr {
+				arr[c] /= bigTotal
+			}
+			sums[name] = arr
+		}
+	}
+	return sums
+}
+
+// FUEnergySplit is one bar of Figure 8b: FU + bypass-network energy split
+// into IXU/OXU × static/dynamic, normalized to BIG's total.
+type FUEnergySplit struct {
+	OXUDynamic float64
+	OXUStatic  float64
+	IXUDynamic float64
+	IXUStatic  float64
+}
+
+// Total sums the four parts.
+func (f FUEnergySplit) Total() float64 {
+	return f.OXUDynamic + f.OXUStatic + f.IXUDynamic + f.IXUStatic
+}
+
+// MeanFUEnergy returns the Figure 8b bars.
+func (ev *Evaluation) MeanFUEnergy() map[string]FUEnergySplit {
+	out := make(map[string]FUEnergySplit)
+	for _, m := range ev.Models {
+		var s FUEnergySplit
+		for _, r := range ev.Rows {
+			e := r.Energy[m.Name]
+			insts := float64(r.Res[m.Name].Counters.Committed)
+			s.OXUDynamic += e.Dynamic[energy.FUs] / insts
+			s.OXUStatic += e.Static[energy.FUs] / insts
+			s.IXUDynamic += e.Dynamic[energy.IXU] / insts
+			s.IXUStatic += e.Static[energy.IXU] / insts
+		}
+		n := float64(len(ev.Rows))
+		s.OXUDynamic /= n
+		s.OXUStatic /= n
+		s.IXUDynamic /= n
+		s.IXUStatic /= n
+		out[m.Name] = s
+	}
+	big := out["BIG"].Total()
+	if big > 0 {
+		for name, s := range out {
+			s.OXUDynamic /= big
+			s.OXUStatic /= big
+			s.IXUDynamic /= big
+			s.IXUStatic /= big
+			out[name] = s
+		}
+	}
+	return out
+}
+
+// EnergyRatio returns model's mean per-instruction energy of one component
+// relative to BIG's same component (e.g. the 14 % IQ / 77 % LSQ claims of
+// Section VI-D).
+func (ev *Evaluation) EnergyRatio(model string, c Component) float64 {
+	var m, b float64
+	for _, r := range ev.Rows {
+		em, eb := r.Energy[model], r.Energy["BIG"]
+		im := float64(r.Res[model].Counters.Committed)
+		ib := float64(r.Res["BIG"].Counters.Committed)
+		m += (em.Dynamic[c] + em.Static[c]) / im
+		b += (eb.Dynamic[c] + eb.Static[c]) / ib
+	}
+	if b == 0 {
+		return 0
+	}
+	return m / b
+}
+
+// TotalEnergyRatio returns model's mean per-instruction whole-core energy
+// relative to BIG.
+func (ev *Evaluation) TotalEnergyRatio(model string) float64 {
+	var m, b float64
+	for _, r := range ev.Rows {
+		em, eb := r.Energy[model], r.Energy["BIG"]
+		m += em.Total() / float64(r.Res[model].Counters.Committed)
+		b += eb.Total() / float64(r.Res["BIG"].Counters.Committed)
+	}
+	if b == 0 {
+		return 0
+	}
+	return m / b
+}
+
+// PER returns the performance/energy ratio (the inverse of the
+// energy-delay product) of model relative to BIG for a group (Figure 10).
+// Per workload: PER_rel = (IPC_m / IPC_BIG) × (E_BIG / E_m) with energies
+// per instruction; group value is the geometric mean.
+func (ev *Evaluation) PER(model string, g Group) float64 {
+	return ev.geomean(g, func(r BenchResult) float64 {
+		ipcRatio := r.RelIPC(model)
+		emb, ebb := r.Energy[model], r.Energy["BIG"]
+		em := emb.Total() / float64(r.Res[model].Counters.Committed)
+		eb := ebb.Total() / float64(r.Res["BIG"].Counters.Committed)
+		if em == 0 {
+			return 0
+		}
+		return ipcRatio * eb / em
+	})
+}
+
+// GeomeanIXURate returns the group geometric-mean fraction of committed
+// instructions executed in the IXU (Figure 12 at the default depth).
+func (ev *Evaluation) GeomeanIXURate(model string, g Group) float64 {
+	return ev.geomean(g, func(r BenchResult) float64 {
+		res := r.Res[model]
+		return res.Counters.IXURate()
+	})
+}
+
+// ReadyAtEntryRate returns the fraction of committed instructions that
+// were category (a) — ready at IXU entry (Section IV-A: 5.5 % on average).
+func (ev *Evaluation) ReadyAtEntryRate(model string) float64 {
+	var ready, committed float64
+	for _, r := range ev.Rows {
+		ready += float64(r.Res[model].Counters.IXUReadyAtEntry)
+		committed += float64(r.Res[model].Counters.Committed)
+	}
+	if committed == 0 {
+		return 0
+	}
+	return ready / committed
+}
+
+// ModelNames returns the evaluated model names in paper order.
+func (ev *Evaluation) ModelNames() []string {
+	names := make([]string, len(ev.Models))
+	for i, m := range ev.Models {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// RowByName returns the named workload's results.
+func (ev *Evaluation) RowByName(name string) (BenchResult, error) {
+	for _, r := range ev.Rows {
+		if r.Workload.Name == name {
+			return r, nil
+		}
+	}
+	return BenchResult{}, fmt.Errorf("fxa: no evaluation row for %q", name)
+}

@@ -1,0 +1,174 @@
+// Package fxa is the public API of the FXA reproduction: a cycle-level
+// simulator of the Front-end eXecution Architecture (Shioya, Goshima, Ando
+// — MICRO 2014) together with the baseline processors it is evaluated
+// against, the synthetic SPEC CPU 2006 proxy workloads, and the
+// energy/area model used to reproduce the paper's figures.
+//
+// Quick start:
+//
+//	w, _ := fxa.WorkloadByName("libquantum")
+//	res, err := fxa.Run(fxa.HalfFX(), w, 300_000)
+//	fmt.Println(res.Counters.IPC(), res.Counters.IXURate())
+//
+// The five evaluation models of the paper (Section VI-B) are BIG, HALF,
+// LITTLE, BIG+FX and HALF+FX; fxa.Models() returns all of them. See
+// cmd/fxabench for the harness that regenerates every table and figure.
+package fxa
+
+import (
+	"fmt"
+
+	"fxa/internal/config"
+	"fxa/internal/core"
+	"fxa/internal/emu"
+	"fxa/internal/inorder"
+	"fxa/internal/sampling"
+	"fxa/internal/workload"
+)
+
+// Model is a processor configuration (a column of Table I).
+type Model = config.Model
+
+// Workload is a synthetic SPEC CPU 2006 proxy program description.
+type Workload = workload.Params
+
+// Result carries the statistics of one simulation run.
+type Result = core.Result
+
+// The five evaluation models of Section VI-B.
+var (
+	Big    = config.Big
+	Half   = config.Half
+	Little = config.Little
+	BigFX  = config.BigFX
+	HalfFX = config.HalfFX
+)
+
+// Models returns the five evaluation models in the paper's order.
+func Models() []Model { return config.Models() }
+
+// ModelByName resolves "BIG", "HALF", "LITTLE", "BIG+FX" or "HALF+FX".
+func ModelByName(name string) (Model, error) { return config.ByName(name) }
+
+// Workloads returns the 29 SPEC CPU 2006 proxies (12 INT + 17 FP).
+func Workloads() []Workload { return workload.Catalog() }
+
+// IntWorkloads returns the INT benchmark group.
+func IntWorkloads() []Workload { return workload.INT() }
+
+// FPWorkloads returns the FP benchmark group.
+func FPWorkloads() []Workload { return workload.FPGroup() }
+
+// CompiledWorkload is an FXK-authored kernel compiled with the bundled
+// compiler; see internal/workload.Compiled.
+type CompiledWorkload = workload.Compiled
+
+// CompiledWorkloads returns the FXK kernel suite — compiled code whose
+// register reuse resembles real binaries (EXPERIMENTS.md, deviation D1).
+func CompiledWorkloads() []CompiledWorkload { return workload.CompiledCatalog() }
+
+// CompiledWorkloadByName returns the named FXK kernel.
+func CompiledWorkloadByName(name string) (CompiledWorkload, error) {
+	c, ok := workload.CompiledByName(name)
+	if !ok {
+		return CompiledWorkload{}, fmt.Errorf("fxa: unknown compiled workload %q", name)
+	}
+	return c, nil
+}
+
+// RunCompiled simulates maxInsts instructions (0 = to completion) of an
+// FXK kernel on model m.
+func RunCompiled(m Model, c CompiledWorkload, maxInsts uint64) (Result, error) {
+	trace, err := c.NewTrace(maxInsts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := RunTrace(m, trace)
+	if err != nil {
+		return Result{}, fmt.Errorf("fxa: %s on %s: %w", m.Name, c.Name, err)
+	}
+	return res, nil
+}
+
+// WorkloadByName returns the named proxy.
+func WorkloadByName(name string) (Workload, error) {
+	p, ok := workload.ByName(name)
+	if !ok {
+		return Workload{}, fmt.Errorf("fxa: unknown workload %q", name)
+	}
+	return p, nil
+}
+
+// Run simulates maxInsts dynamic instructions of w on model m and returns
+// the collected statistics. It dispatches to the out-of-order timing model
+// (internal/core) or the in-order one (internal/inorder) by m.Kind.
+func Run(m Model, w Workload, maxInsts uint64) (Result, error) {
+	trace, err := w.NewTrace(maxInsts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := RunTrace(m, trace)
+	if err != nil {
+		return Result{}, fmt.Errorf("fxa: %s on %s: %w", m.Name, w.Name, err)
+	}
+	if terr := trace.Err(); terr != nil {
+		return Result{}, fmt.Errorf("fxa: %s trace: %w", w.Name, terr)
+	}
+	return res, nil
+}
+
+// RunWarm is Run with a functional warmup: the first warmup instructions
+// execute only on the emulator (no timing), mirroring the paper's
+// 4G-instruction skip before its 100M-instruction measurement window.
+func RunWarm(m Model, w Workload, warmup, maxInsts uint64) (Result, error) {
+	trace, err := w.NewTraceWarm(warmup, maxInsts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := RunTrace(m, trace)
+	if err != nil {
+		return Result{}, fmt.Errorf("fxa: %s on %s: %w", m.Name, w.Name, err)
+	}
+	if terr := trace.Err(); terr != nil {
+		return Result{}, fmt.Errorf("fxa: %s trace: %w", w.Name, terr)
+	}
+	return res, nil
+}
+
+// SamplingConfig describes a periodic-sampling schedule (see
+// internal/sampling).
+type SamplingConfig = sampling.Config
+
+// SamplingSummary aggregates a sampled simulation with per-interval
+// confidence statistics.
+type SamplingSummary = sampling.Summary
+
+// Sample estimates w's behaviour on m with periodic interval sampling:
+// detailed windows separated by functional fast-forwards, far cheaper than
+// one long detailed run, with a per-interval spread as a confidence
+// signal.
+func Sample(m Model, w Workload, cfg SamplingConfig) (SamplingSummary, error) {
+	return sampling.Run(m, w, cfg)
+}
+
+// RunTrace simulates an arbitrary dynamic instruction stream on model m.
+// Use this to run programs assembled with internal/asm conventions via
+// your own emulator setup.
+func RunTrace(m Model, trace *emu.Stream) (Result, error) {
+	switch m.Kind {
+	case config.OutOfOrder:
+		co, err := core.New(m, trace)
+		if err != nil {
+			return Result{}, err
+		}
+		return co.Run()
+	case config.InOrder:
+		co, err := inorder.New(m, trace)
+		if err != nil {
+			return Result{}, err
+		}
+		return co.Run()
+	default:
+		return Result{}, fmt.Errorf("fxa: unknown core kind %d", m.Kind)
+	}
+}

@@ -1,0 +1,3 @@
+module fxa
+
+go 1.22

@@ -1,0 +1,216 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"fxa/internal/isa"
+)
+
+func mustWords(t *testing.T, src string) []isa.Inst {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	var out []isa.Inst
+	for _, seg := range p.Segments {
+		for i := 0; i+4 <= len(seg.Data); i += 4 {
+			w := uint32(seg.Data[i]) | uint32(seg.Data[i+1])<<8 | uint32(seg.Data[i+2])<<16 | uint32(seg.Data[i+3])<<24
+			in, err := isa.Decode(w)
+			if err != nil {
+				t.Fatalf("decode word %d: %v", i/4, err)
+			}
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func TestBasicInstructions(t *testing.T) {
+	ins := mustWords(t, `
+		add  r1, r2, r3
+		addi r4, r5, -9
+		ld   r6, 24(r7)
+		st   r6, -8(r7)
+		ldf  f1, 0(r2)
+		stf  f1, 8(r2)
+		fadd f2, f3, f4
+		fsqrt f5, f6
+		jmp  r31, (r9)
+		nop
+		halt
+	`)
+	want := []string{
+		"add r1, r2, r3",
+		"addi r4, r5, -9",
+		"ld r6, 24(r7)",
+		"st r6, -8(r7)",
+		"ldf f1, 0(r2)",
+		"stf f1, 8(r2)",
+		"fadd f2, f3, f4",
+		"fsqrt f5, f6",
+		"jmp r31, (r9)",
+		"nop",
+		"halt",
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ins), len(want))
+	}
+	for i := range want {
+		if ins[i].String() != want[i] {
+			t.Errorf("inst %d = %q, want %q", i, ins[i].String(), want[i])
+		}
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	ins := mustWords(t, `
+	loop:	addi r1, r1, -1
+		bne  r1, loop
+		beq  r1, done
+		br   loop
+	done:	halt
+	`)
+	// bne at index 1: target loop at index 0 → disp = (0 - 2) = -2
+	if ins[1].Imm != -2 {
+		t.Errorf("bne disp = %d, want -2", ins[1].Imm)
+	}
+	// beq at index 2: target done at index 4 → disp = 4 - 3 = 1
+	if ins[2].Imm != 1 {
+		t.Errorf("beq disp = %d, want 1", ins[2].Imm)
+	}
+	// br at index 3 → disp = 0 - 4 = -4
+	if ins[3].Imm != -4 {
+		t.Errorf("br disp = %d, want -4", ins[3].Imm)
+	}
+}
+
+func TestPseudoExpansion(t *testing.T) {
+	ins := mustWords(t, `
+		li  r1, 100
+		li  r2, -100
+		li  r3, 1000000
+		mov r4, r5
+		neg r6, r7
+		clr r8
+		halt
+	`)
+	// Each li is ldih+addi.
+	if ins[0].Op != isa.OpLdih || ins[1].Op != isa.OpAddi {
+		t.Fatalf("li expansion wrong: %v %v", ins[0], ins[1])
+	}
+	check := func(hiIdx int, want int64) {
+		hi, lo := ins[hiIdx], ins[hiIdx+1]
+		got := int64(hi.Imm)<<14 + int64(lo.Imm)
+		if got != want {
+			t.Errorf("li value = %d, want %d (hi=%d lo=%d)", got, want, hi.Imm, lo.Imm)
+		}
+	}
+	check(0, 100)
+	check(2, -100)
+	check(4, 1000000)
+	if ins[6].String() != "addi r4, r5, 0" {
+		t.Errorf("mov expansion = %q", ins[6])
+	}
+	if ins[7].String() != "sub r6, r31, r7" {
+		t.Errorf("neg expansion = %q", ins[7])
+	}
+	if ins[8].String() != "addi r8, r31, 0" {
+		t.Errorf("clr expansion = %q", ins[8])
+	}
+}
+
+func TestDirectivesAndLabels(t *testing.T) {
+	p, err := Assemble(`
+		.org 0x2000
+	start:	lda r1, table
+		ld  r2, 0(r1)
+		halt
+		.org 0x4000
+		.align 64
+	table:	.quad 7, -1, 0x10
+		.double 1.5
+		.space 16
+	after:	.quad 42
+	`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if p.Entry != 0x2000 {
+		t.Errorf("entry = %#x, want 0x2000", p.Entry)
+	}
+	if got := p.Labels["table"]; got != 0x4000 {
+		t.Errorf("table = %#x, want 0x4000", got)
+	}
+	if got := p.Labels["after"]; got != 0x4000+4*8+16 {
+		t.Errorf("after = %#x, want %#x", got, 0x4000+4*8+16)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(p.Segments))
+	}
+}
+
+func TestStartLabelOverridesEntry(t *testing.T) {
+	p, err := Assemble(`
+		halt        ; padding before start
+	start:	addi r1, r31, 1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != DefaultOrg+4 {
+		t.Errorf("entry = %#x, want %#x", p.Entry, DefaultOrg+4)
+	}
+}
+
+func TestComments(t *testing.T) {
+	ins := mustWords(t, `
+		add r1, r2, r3   ; semicolon
+		add r1, r2, r3   # hash
+		add r1, r2, r3   // slashes
+		halt
+	`)
+	if len(ins) != 4 {
+		t.Errorf("got %d instructions, want 4", len(ins))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"add r1, r2", "want 3 operands"},
+		{"add r1, r2, r99\nhalt", "bad r-register"},
+		{"beq r1, nowhere\nhalt", "undefined branch target"},
+		{"ld r1, 8[r2]\nhalt", "bad memory operand"},
+		{"l: add r1,r1,r1\nl: halt", "duplicate label"},
+		{"addi r1, r2, 99999\nhalt", "immediate"},
+		{".quad xyz\nhalt", "undefined symbol"},
+		{"li r1, 999999999\nhalt", "28-bit range"},
+		{"", "no instructions"},
+		{".align 3\nhalt", "bad alignment"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("source %q: expected error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("source %q: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad input")
+		}
+	}()
+	MustAssemble("bogus")
+}

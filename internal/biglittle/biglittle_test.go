@@ -1,0 +1,85 @@
+package biglittle
+
+import (
+	"testing"
+
+	"fxa/internal/config"
+)
+
+func TestFXAPairBeatsConventionalPair(t *testing.T) {
+	const insts = 60_000
+	sched := DefaultSchedule(insts)
+	conv, err := ConventionalPair().Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fxa, err := FXAPair().Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section VI-I: replacing only the big core keeps (or improves)
+	// high-demand latency while lowering total energy.
+	if fxa.HighCycles > conv.HighCycles {
+		t.Errorf("FXA pair high-demand cycles %d exceed conventional %d",
+			fxa.HighCycles, conv.HighCycles)
+	}
+	if fxa.Energy >= conv.Energy {
+		t.Errorf("FXA pair energy %.0f not below conventional %.0f", fxa.Energy, conv.Energy)
+	}
+	t.Logf("high-demand cycles: %d -> %d (%.1f%%); energy: %.0f -> %.0f (%.1f%%)",
+		conv.HighCycles, fxa.HighCycles, 100*float64(fxa.HighCycles)/float64(conv.HighCycles),
+		conv.Energy, fxa.Energy, 100*fxa.Energy/conv.Energy)
+}
+
+func TestLowDemandPhasesRunOnLittle(t *testing.T) {
+	sched := DefaultSchedule(20_000)
+	rep, err := ConventionalPair().Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != len(sched) {
+		t.Fatalf("ran %d phases, want %d", len(rep.Phases), len(sched))
+	}
+	for _, pr := range rep.Phases {
+		want := "LITTLE"
+		if pr.Phase.Demand == High {
+			want = "BIG"
+		}
+		if pr.Core != want {
+			t.Errorf("phase %s ran on %s, want %s", pr.Phase.Name, pr.Core, want)
+		}
+		if pr.Cycles == 0 || pr.Energy <= 0 {
+			t.Errorf("phase %s has empty results", pr.Phase.Name)
+		}
+	}
+}
+
+func TestLittleCoreIsAlwaysCheapestPerInstruction(t *testing.T) {
+	// The paper's reason FXA cannot replace the little core (§VI-I):
+	// renaming and scheduling energy make any out-of-order core more
+	// expensive per instruction.
+	const insts = 30_000
+	sched := []Phase{DefaultSchedule(insts)[0]} // one high phase
+	littleOnly := System{Name: "little-only", Big: config.Little(), Little: config.Little()}
+	lit, err := littleOnly.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fxaSys, err := FXAPair().Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit.Energy >= fxaSys.Energy {
+		t.Errorf("LITTLE energy %.0f should be below HALF+FX %.0f for the same work",
+			lit.Energy, fxaSys.Energy)
+	}
+	if lit.Cycles <= fxaSys.Cycles {
+		t.Errorf("LITTLE must be slower: %d vs %d cycles", lit.Cycles, fxaSys.Cycles)
+	}
+}
+
+func TestDemandString(t *testing.T) {
+	if Low.String() != "low" || High.String() != "high" {
+		t.Error("demand names wrong")
+	}
+}

@@ -1,0 +1,146 @@
+// Package bpred implements the front-end predictors of Table I — a gshare
+// direction predictor with a 4K-entry PHT and a 512-entry BTB — plus the
+// store-set memory-dependence predictor (Chrysos & Emer) that the paper's
+// load/store scheme assumes (Section II-D3).
+package bpred
+
+// Config sizes the branch predictor.
+type Config struct {
+	Kind        Kind // direction-predictor algorithm (default GShare)
+	PHTEntries  int  // two-bit saturating counters (power of two)
+	HistoryBits int  // global history length folded into the index
+	BTBEntries  int  // direct-mapped, tagged (power of two)
+	RASEntries  int  // return-address stack depth (0 disables)
+}
+
+// DefaultConfig is the Table I predictor: gshare with a 4K PHT, a
+// 512-entry BTB, and an 8-entry return-address stack.
+func DefaultConfig() Config {
+	return Config{PHTEntries: 4096, HistoryBits: 12, BTBEntries: 512, RASEntries: 8}
+}
+
+// Stats counts predictor events.
+type Stats struct {
+	CondLookups   uint64
+	CondMispred   uint64
+	BTBLookups    uint64
+	BTBMisses     uint64
+	TargetMispred uint64
+}
+
+// Predictor is the gshare+BTB front-end predictor. The timing models call
+// PredictAndUpdate once per fetched branch; because the simulator is
+// trace-driven, the actual outcome is known at prediction time and tables
+// are updated immediately (standard trace-driven practice — wrong-path
+// history pollution is not modelled).
+type Predictor struct {
+	cfg    Config
+	dir    Direction
+	btbTag []uint64
+	btbTgt []uint64
+	btbOK  []bool
+	ras    []uint64 // circular return-address stack
+	rasTop int
+	rasLen int
+	Stats  Stats
+}
+
+// New builds a predictor; table sizes must be powers of two.
+func New(cfg Config) *Predictor {
+	if cfg.PHTEntries <= 0 || cfg.PHTEntries&(cfg.PHTEntries-1) != 0 {
+		panic("bpred: PHT entries must be a positive power of two")
+	}
+	if cfg.BTBEntries <= 0 || cfg.BTBEntries&(cfg.BTBEntries-1) != 0 {
+		panic("bpred: BTB entries must be a positive power of two")
+	}
+	p := &Predictor{
+		cfg:    cfg,
+		dir:    NewDirection(cfg.Kind, cfg),
+		btbTag: make([]uint64, cfg.BTBEntries),
+		btbTgt: make([]uint64, cfg.BTBEntries),
+		btbOK:  make([]bool, cfg.BTBEntries),
+	}
+	if cfg.RASEntries > 0 {
+		p.ras = make([]uint64, cfg.RASEntries)
+	}
+	return p
+}
+
+// Call pushes a return address onto the RAS (a linking indirect jump was
+// fetched).
+func (p *Predictor) Call(returnAddr uint64) {
+	if p.ras == nil {
+		return
+	}
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	p.ras[p.rasTop] = returnAddr
+	if p.rasLen < len(p.ras) {
+		p.rasLen++
+	}
+}
+
+// Return predicts the target of a return (a non-linking indirect jump) by
+// popping the RAS, reporting whether the prediction matched actual. With
+// an empty or disabled RAS it falls back to the BTB.
+func (p *Predictor) Return(pc, actual uint64) bool {
+	if p.ras == nil || p.rasLen == 0 {
+		return p.PredictTarget(pc, actual)
+	}
+	predicted := p.ras[p.rasTop]
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	p.rasLen--
+	correct := predicted == actual
+	if !correct {
+		p.Stats.TargetMispred++
+	}
+	return correct
+}
+
+// PredictConditional returns the configured direction predictor's
+// prediction for the conditional branch at pc, then trains it with the
+// actual outcome. It reports whether the direction was predicted
+// correctly.
+func (p *Predictor) PredictConditional(pc uint64, taken bool) (predictedTaken, correct bool) {
+	p.Stats.CondLookups++
+	predictedTaken, correct = p.dir.Predict(pc, taken)
+	if !correct {
+		p.Stats.CondMispred++
+	}
+	return predictedTaken, correct
+}
+
+// PredictTarget consults the BTB for the taken-path target of the branch
+// at pc and updates it with the actual target. It reports whether the
+// target was predicted (present and equal to actual).
+func (p *Predictor) PredictTarget(pc, actual uint64) bool {
+	p.Stats.BTBLookups++
+	idx := int((pc >> 2) & uint64(p.cfg.BTBEntries-1))
+	tag := pc >> 2 / uint64(p.cfg.BTBEntries)
+	hit := p.btbOK[idx] && p.btbTag[idx] == tag
+	correct := hit && p.btbTgt[idx] == actual
+	if !hit {
+		p.Stats.BTBMisses++
+	}
+	if !correct {
+		p.Stats.TargetMispred++
+	}
+	p.btbTag[idx] = tag
+	p.btbTgt[idx] = actual
+	p.btbOK[idx] = true
+	return correct
+}
+
+// MispredictRate returns conditional-direction mispredicts per lookup.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Stats.CondLookups == 0 {
+		return 0
+	}
+	return float64(p.Stats.CondMispred) / float64(p.Stats.CondLookups)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package bpred
+
+import "testing"
+
+func TestAlwaysTakenLoopLearns(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := p.PredictConditional(pc, true); !ok {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("always-taken branch mispredicted %d times", wrong)
+	}
+}
+
+func TestAlternatingLearnsViaHistory(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x2000)
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		if _, ok := p.PredictConditional(pc, i%2 == 0); !ok {
+			wrong++
+		}
+	}
+	// gshare folds history; an alternating pattern is learnable after
+	// warmup.
+	if wrong > 100 {
+		t.Errorf("alternating branch mispredicted %d/2000 times", wrong)
+	}
+}
+
+func TestRandomIsHard(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x3000)
+	// LCG pseudo-random outcomes: roughly half should mispredict.
+	x := uint64(12345)
+	wrong := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		if _, ok := p.PredictConditional(pc, x>>63 == 1); !ok {
+			wrong++
+		}
+	}
+	if wrong < n/4 || wrong > 3*n/4 {
+		t.Errorf("random branch mispredict count %d of %d looks broken", wrong, n)
+	}
+	if got := p.MispredictRate(); got <= 0 || got >= 1 {
+		t.Errorf("mispredict rate = %v", got)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.PredictTarget(0x1000, 0x2000) {
+		t.Error("cold BTB lookup must miss")
+	}
+	if !p.PredictTarget(0x1000, 0x2000) {
+		t.Error("warm BTB lookup must hit")
+	}
+	if p.PredictTarget(0x1000, 0x3000) {
+		t.Error("changed target must mispredict")
+	}
+	if !p.PredictTarget(0x1000, 0x3000) {
+		t.Error("retrained target must hit")
+	}
+	// Aliasing: a PC 512 entries away maps to the same slot but a
+	// different tag.
+	alias := uint64(0x1000) + 512*4
+	if p.PredictTarget(alias, 0x4000) {
+		t.Error("aliased entry must miss on tag mismatch")
+	}
+	if p.PredictTarget(0x1000, 0x3000) {
+		t.Error("original entry was evicted by the alias")
+	}
+}
+
+func TestPredictorPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two PHT")
+		}
+	}()
+	New(Config{PHTEntries: 1000, HistoryBits: 8, BTBEntries: 512})
+}
+
+func TestStoreSetBasic(t *testing.T) {
+	s := NewStoreSet(1024, 256)
+	loadPC, storePC := uint64(0x100), uint64(0x200)
+
+	// Untrained: no dependence predicted.
+	if _, wait := s.LoadLookup(loadPC); wait {
+		t.Fatal("untrained load must not wait")
+	}
+
+	// Train on a violation.
+	s.Violation(loadPC, storePC)
+
+	// Store renamed: becomes last fetched store of the set.
+	s.StoreRename(storePC, 42)
+	seq, wait := s.LoadLookup(loadPC)
+	if !wait || seq != 42 {
+		t.Fatalf("trained load: wait=%v seq=%d, want wait on 42", wait, seq)
+	}
+
+	// Store executes: set cleared.
+	s.StoreExecuted(storePC, 42)
+	if _, wait := s.LoadLookup(loadPC); wait {
+		t.Error("load must not wait after the store executed")
+	}
+}
+
+func TestStoreSetMerge(t *testing.T) {
+	s := NewStoreSet(1024, 256)
+	l1, s1 := uint64(0x10), uint64(0x20)
+	l2, s2 := uint64(0x30), uint64(0x40)
+	s.Violation(l1, s1) // set 0
+	s.Violation(l2, s2) // set 1
+	s.Violation(l1, s2) // merge: both should end in the smaller set
+
+	s.StoreRename(s2, 7)
+	if _, wait := s.LoadLookup(l1); !wait {
+		t.Error("after merge, l1 must wait on s2")
+	}
+	if s.Stats.Violations != 3 {
+		t.Errorf("violations = %d, want 3", s.Stats.Violations)
+	}
+}
+
+func TestStoreSetStaleExecuteDoesNotClear(t *testing.T) {
+	s := NewStoreSet(1024, 256)
+	loadPC, storePC := uint64(0x100), uint64(0x200)
+	s.Violation(loadPC, storePC)
+	s.StoreRename(storePC, 1)
+	s.StoreRename(storePC, 2)   // newer instance
+	s.StoreExecuted(storePC, 1) // older instance executing must not clear seq 2
+	seq, wait := s.LoadLookup(loadPC)
+	if !wait || seq != 2 {
+		t.Errorf("lookup = %d,%v; want wait on 2", seq, wait)
+	}
+}
+
+func TestStoreSetPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewStoreSet(100, 256)
+}
+
+func TestRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	// call from two different sites to the same function; returns must
+	// be predicted by the RAS even though the return PC is shared.
+	p.Call(0x1004)
+	if !p.Return(0x9000, 0x1004) {
+		t.Error("return to first call site mispredicted")
+	}
+	p.Call(0x2004)
+	if !p.Return(0x9000, 0x2004) {
+		t.Error("return to second call site mispredicted")
+	}
+	// Nested calls unwind in LIFO order.
+	p.Call(0x100)
+	p.Call(0x200)
+	if !p.Return(0x9000, 0x200) || !p.Return(0x9000, 0x100) {
+		t.Error("nested returns must pop LIFO")
+	}
+	// Mismatched return counts as a target mispredict.
+	p.Call(0x300)
+	before := p.Stats.TargetMispred
+	if p.Return(0x9000, 0x999) {
+		t.Error("wrong return target must mispredict")
+	}
+	if p.Stats.TargetMispred != before+1 {
+		t.Error("mispredict not counted")
+	}
+}
+
+func TestRASOverflowWrapsAround(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 2
+	p := New(cfg)
+	p.Call(0x10)
+	p.Call(0x20)
+	p.Call(0x30) // overwrites 0x10
+	if !p.Return(0x9000, 0x30) || !p.Return(0x9000, 0x20) {
+		t.Error("recent returns must survive overflow")
+	}
+	if p.Return(0x9000, 0x10) {
+		t.Error("overwritten entry must mispredict (or BTB-miss)")
+	}
+}
+
+func TestRASDisabledFallsBackToBTB(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 0
+	p := New(cfg)
+	p.Call(0x10) // no-op
+	// First return trains the BTB; second hits it.
+	p.Return(0x9000, 0x10)
+	if !p.Return(0x9000, 0x10) {
+		t.Error("BTB fallback should predict a repeated return target")
+	}
+}

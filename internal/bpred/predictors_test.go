@@ -1,0 +1,103 @@
+package bpred
+
+import "testing"
+
+// exercise runs a predictor over pattern repeated rounds times at one PC
+// and returns the mispredict count.
+func exercise(d Direction, pattern []bool, rounds int) int {
+	wrong := 0
+	for r := 0; r < rounds; r++ {
+		for _, taken := range pattern {
+			if _, ok := d.Predict(0x4000, taken); !ok {
+				wrong++
+			}
+		}
+	}
+	return wrong
+}
+
+func TestAllKindsLearnBias(t *testing.T) {
+	// A 90%-taken branch should be predicted well by every dynamic kind.
+	pattern := make([]bool, 10)
+	for i := range pattern {
+		pattern[i] = i != 0
+	}
+	for _, k := range []Kind{GShare, Bimodal, Local, Tournament} {
+		d := NewDirection(k, DefaultConfig())
+		wrong := exercise(d, pattern, 100)
+		if wrong > 350 {
+			t.Errorf("%v mispredicted %d/1000 on a 90%%-taken branch", k, wrong)
+		}
+	}
+}
+
+func TestLocalLearnsShortPeriodicPattern(t *testing.T) {
+	// T T N repeated: local history captures it exactly; bimodal cannot.
+	pattern := []bool{true, true, false}
+	local := exercise(NewDirection(Local, DefaultConfig()), pattern, 300)
+	bi := exercise(NewDirection(Bimodal, DefaultConfig()), pattern, 300)
+	if local > 50 {
+		t.Errorf("local predictor mispredicted %d/900 on a period-3 pattern", local)
+	}
+	if bi < 200 {
+		t.Errorf("bimodal mispredicted only %d/900 on a period-3 pattern; too good", bi)
+	}
+}
+
+func TestTournamentAtLeastAsGoodAsWorstComponent(t *testing.T) {
+	pattern := []bool{true, true, false, true, false, false, true, true}
+	tour := exercise(NewDirection(Tournament, DefaultConfig()), pattern, 200)
+	g := exercise(NewDirection(GShare, DefaultConfig()), pattern, 200)
+	b := exercise(NewDirection(Bimodal, DefaultConfig()), pattern, 200)
+	worst := g
+	if b > worst {
+		worst = b
+	}
+	// Allow some chooser-training slack.
+	if tour > worst+100 {
+		t.Errorf("tournament (%d wrong) much worse than worst component (%d)", tour, worst)
+	}
+}
+
+func TestStaticPredictsTaken(t *testing.T) {
+	d := NewDirection(Static, DefaultConfig())
+	if pred, ok := d.Predict(0x10, true); !pred || !ok {
+		t.Error("static must predict taken correctly for taken branches")
+	}
+	if pred, ok := d.Predict(0x10, false); !pred || ok {
+		t.Error("static must mispredict not-taken branches")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{GShare, Bimodal, Local, Tournament, Static} {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind must say so")
+	}
+}
+
+func TestPredictorUsesConfiguredKind(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kind = Static
+	p := New(cfg)
+	// Static predicts taken: a never-taken branch mispredicts every time.
+	for i := 0; i < 10; i++ {
+		p.PredictConditional(0x100, false)
+	}
+	if p.Stats.CondMispred != 10 {
+		t.Errorf("static-kind predictor mispredicted %d/10", p.Stats.CondMispred)
+	}
+}
+
+func TestCountersPanicOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two table")
+		}
+	}()
+	newCounters(1000)
+}

@@ -1,0 +1,118 @@
+package bpred
+
+// StoreSet implements the store-set memory-dependence predictor of
+// Chrysos & Emer ("Memory Dependence Prediction Using Store Sets",
+// ISCA 1998), which the paper's load/store issue scheme assumes
+// (Section II-D3). Loads and stores are assigned to store sets via the
+// PC-indexed Store Set ID Table (SSIT); the Last Fetched Store Table
+// (LFST) tracks the most recent in-flight store of each set so a load can
+// be made to wait on it.
+type StoreSet struct {
+	ssitSize int
+	lfstSize int
+	ssit     []int32 // store-set ID per PC hash, -1 = none
+	lfstSeq  []uint64
+	lfstOK   []bool
+	nextID   int32
+
+	Stats StoreSetStats
+}
+
+// StoreSetStats counts predictor events.
+type StoreSetStats struct {
+	Lookups     uint64
+	Predictions uint64 // load predicted dependent on an in-flight store
+	Violations  uint64 // training events (order violations observed)
+}
+
+// NewStoreSet builds the predictor. Sizes must be powers of two.
+func NewStoreSet(ssitSize, lfstSize int) *StoreSet {
+	if ssitSize <= 0 || ssitSize&(ssitSize-1) != 0 || lfstSize <= 0 || lfstSize&(lfstSize-1) != 0 {
+		panic("bpred: store-set table sizes must be positive powers of two")
+	}
+	s := &StoreSet{
+		ssitSize: ssitSize,
+		lfstSize: lfstSize,
+		ssit:     make([]int32, ssitSize),
+		lfstSeq:  make([]uint64, lfstSize),
+		lfstOK:   make([]bool, lfstSize),
+	}
+	for i := range s.ssit {
+		s.ssit[i] = -1
+	}
+	return s
+}
+
+func (s *StoreSet) ssitIndex(pc uint64) int { return int((pc >> 2) & uint64(s.ssitSize-1)) }
+
+func (s *StoreSet) lfstIndex(id int32) int { return int(uint32(id) & uint32(s.lfstSize-1)) }
+
+// LoadLookup is called when a load is renamed. If the load's store set has
+// an in-flight store, it returns that store's sequence number and true:
+// the scheduler must not issue the load before that store executes.
+func (s *StoreSet) LoadLookup(pc uint64) (storeSeq uint64, wait bool) {
+	s.Stats.Lookups++
+	id := s.ssit[s.ssitIndex(pc)]
+	if id < 0 {
+		return 0, false
+	}
+	li := s.lfstIndex(id)
+	if !s.lfstOK[li] {
+		return 0, false
+	}
+	s.Stats.Predictions++
+	return s.lfstSeq[li], true
+}
+
+// StoreRename is called when a store is renamed: it becomes the last
+// fetched store of its set (if it belongs to one).
+func (s *StoreSet) StoreRename(pc uint64, seq uint64) {
+	id := s.ssit[s.ssitIndex(pc)]
+	if id < 0 {
+		return
+	}
+	li := s.lfstIndex(id)
+	s.lfstSeq[li] = seq
+	s.lfstOK[li] = true
+}
+
+// StoreExecuted is called when a store executes: if it is still the last
+// fetched store of its set, the set entry is cleared so later loads stop
+// waiting on it.
+func (s *StoreSet) StoreExecuted(pc uint64, seq uint64) {
+	id := s.ssit[s.ssitIndex(pc)]
+	if id < 0 {
+		return
+	}
+	li := s.lfstIndex(id)
+	if s.lfstOK[li] && s.lfstSeq[li] == seq {
+		s.lfstOK[li] = false
+	}
+}
+
+// Violation trains the predictor after a memory-order violation between
+// the load at loadPC and the store at storePC, merging both into one store
+// set per the Chrysos-Emer assignment rules.
+func (s *StoreSet) Violation(loadPC, storePC uint64) {
+	s.Stats.Violations++
+	li, si := s.ssitIndex(loadPC), s.ssitIndex(storePC)
+	lid, sid := s.ssit[li], s.ssit[si]
+	switch {
+	case lid < 0 && sid < 0:
+		id := s.nextID
+		s.nextID++
+		s.ssit[li], s.ssit[si] = id, id
+	case lid >= 0 && sid < 0:
+		s.ssit[si] = lid
+	case lid < 0 && sid >= 0:
+		s.ssit[li] = sid
+	default:
+		// Both assigned: the winner is the smaller ID (declining
+		// priority rule from the paper).
+		if lid < sid {
+			s.ssit[si] = lid
+		} else {
+			s.ssit[li] = sid
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package config
+
+import "testing"
+
+func TestModelsMatchTableI(t *testing.T) {
+	b := Big()
+	if b.FetchWidth != 3 || b.IssueWidth != 4 || b.IQEntries != 64 ||
+		b.IntFUs != 2 || b.MemFUs != 2 || b.FPFUs != 2 ||
+		b.ROBEntries != 128 || b.IntPRF != 128 || b.FPPRF != 96 ||
+		b.LQEntries != 32 || b.SQEntries != 32 {
+		t.Errorf("BIG does not match Table I: %+v", b)
+	}
+	h := Half()
+	if h.IssueWidth != 2 || h.IQEntries != 32 {
+		t.Errorf("HALF must halve the IQ: %+v", h)
+	}
+	if h.FetchWidth != b.FetchWidth || h.ROBEntries != b.ROBEntries {
+		t.Error("HALF must otherwise equal BIG")
+	}
+	l := Little()
+	if l.Kind != InOrder || l.FetchWidth != 2 || l.IssueWidth != 2 ||
+		l.IntFUs != 2 || l.MemFUs != 1 || l.FPFUs != 1 {
+		t.Errorf("LITTLE does not match Table I: %+v", l)
+	}
+	for _, m := range Models() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestFXModels(t *testing.T) {
+	hf := HalfFX()
+	if !hf.FX || hf.IXU.Stages() != 3 || hf.IXU.TotalFUs() != 5 {
+		t.Errorf("HALF+FX IXU must be 3 stages with 5 FUs ([3,1,1]): %+v", hf.IXU)
+	}
+	if hf.IXU.BypassMaxDist != 2 {
+		t.Error("HALF+FX omits bypassing beyond two stages")
+	}
+	if hf.IQEntries != Half().IQEntries || hf.IssueWidth != Half().IssueWidth {
+		t.Error("HALF+FX keeps HALF's IQ")
+	}
+	bf := BigFX()
+	if bf.IQEntries != Big().IQEntries {
+		t.Error("BIG+FX keeps BIG's IQ")
+	}
+}
+
+func TestIXUReach(t *testing.T) {
+	x := IXU{StageFUs: []int{3, 1, 1}, BypassMaxDist: 2}
+	cases := []struct {
+		ps, cs int
+		want   bool
+	}{{0, 0, true}, {0, 1, true}, {0, 2, true}, {2, 0, true}, {1, 2, true}}
+	for _, c := range cases {
+		if got := x.Reach(c.ps, c.cs); got != c.want {
+			t.Errorf("Reach(%d,%d) = %v, want %v", c.ps, c.cs, got, c.want)
+		}
+	}
+	x.BypassMaxDist = 1
+	if x.Reach(0, 2) || x.Reach(2, 0) {
+		t.Error("distance 2 must be unreachable with BypassMaxDist 1")
+	}
+	x.BypassMaxDist = 0
+	if !x.Reach(0, 5) {
+		t.Error("BypassMaxDist 0 means a full network")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"BIG", "HALF", "LITTLE", "BIG+FX", "HALF+FX"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m.Name, err)
+		}
+	}
+	if _, err := ByName("MEDIUM"); err == nil {
+		t.Error("ByName must reject unknown models")
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	m := Big()
+	m.IQEntries = 0
+	if err := m.Validate(); err == nil {
+		t.Error("OoO core without an IQ must be invalid")
+	}
+	m = Big()
+	m.FX = true // no IXU stages
+	if err := m.Validate(); err == nil {
+		t.Error("FX without IXU stages must be invalid")
+	}
+	m = Little()
+	m.FX = true
+	m.IXU = IXU{StageFUs: []int{3}}
+	if err := m.Validate(); err == nil {
+		t.Error("FX on an in-order core must be invalid")
+	}
+	m = HalfFX()
+	m.IXU.StageFUs = []int{3, 0, 1}
+	if err := m.Validate(); err == nil {
+		t.Error("zero-FU IXU stage must be invalid")
+	}
+	m = Big()
+	m.FetchWidth = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero fetch width must be invalid")
+	}
+}
+
+func TestDeviceDefaults(t *testing.T) {
+	d := DefaultDevice()
+	if d.TechnologyNM != 22 || d.TemperatureK != 320 || d.VDD != 0.8 {
+		t.Errorf("device does not match Table II: %+v", d)
+	}
+	if d.L2LeakNAperUM >= d.CoreLeakNAperUM {
+		t.Error("L2 LSTP transistors must leak less than HP core transistors")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import "fxa/internal/isa"
+
+// issue models the OXU scheduling stage: oldest-first select of up to
+// IssueWidth ready instructions from the IQ, subject to FU availability.
+// Loads and stores perform their LSQ/cache work at issue; stores may
+// detect memory-order violations, which flush and replay from the
+// offending load.
+func (co *Core) issue() {
+	grants := 0
+	pendingFlush := ^uint64(0)
+	removed := false
+	for _, u := range co.iq {
+		if grants >= co.cfg.IssueWidth {
+			break
+		}
+		if co.cycle < u.dispatchCycle+minIssueDelay {
+			continue
+		}
+		if u.rec.Seq >= pendingFlush {
+			continue // about to be squashed by a detected violation
+		}
+		ready := true
+		for i := 0; i < u.nsrc; i++ {
+			if p := u.srcs[i]; p != nil && p.availToOXU() > co.cycle {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		if u.isLoad() && u.depStore != nil && !u.depStore.executed {
+			continue // store-set predicted dependence
+		}
+
+		// FU availability by class.
+		var pool []int64
+		cls := u.rec.Inst.Op.Class()
+		switch cls {
+		case isa.ClassLoad, isa.ClassStore:
+			pool = co.memFU
+		case isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv:
+			pool = co.fpFU
+		default:
+			pool = co.intFU
+		}
+		fu := -1
+		for i, busy := range pool {
+			if busy <= co.cycle {
+				fu = i
+				break
+			}
+		}
+		if fu < 0 {
+			continue
+		}
+
+		// Grant.
+		grants++
+		co.traceStage(u, "Is")
+		u.issued = true
+		u.executed = true
+		u.inIQ = false
+		removed = true
+		u.execCycle = co.cycle + 2 // issue → register read → execute
+		lat := int64(u.rec.Inst.Op.Latency())
+		occupancy := int64(1) // pipelined FUs
+		if cls == isa.ClassIntDiv || cls == isa.ClassFPDiv {
+			occupancy = lat // unpipelined dividers
+		}
+		pool[fu] = co.cycle + occupancy
+
+		switch cls {
+		case isa.ClassLoad:
+			co.memPortsThisCycle++
+			lat = int64(co.execLoad(u, false))
+		case isa.ClassStore:
+			co.memPortsThisCycle++
+			if seq, flushed := co.execStore(u, false); flushed && seq < pendingFlush {
+				pendingFlush = seq
+			}
+		}
+		u.resultCycle = co.cycle + lat
+		u.prfCycle = u.resultCycle
+		co.c.IQIssue++
+		co.c.FUOps[cls]++
+		if u.hasDst {
+			co.c.PRFWrites++
+			co.c.OXUBypassDrives++
+			co.c.IQWakeups++ // completion tag broadcast across the IQ CAM
+		}
+		if u.rec.Inst.IsBranch() {
+			if u.mispredict {
+				co.c.MispredResolvedOXU++
+				co.resolveMispredict(u, u.execCycle+1, false)
+			}
+		}
+	}
+	if removed {
+		keep := co.iq[:0]
+		for _, u := range co.iq {
+			if u.inIQ {
+				keep = append(keep, u)
+			}
+		}
+		co.iq = keep
+	}
+	if pendingFlush != ^uint64(0) {
+		co.flushFrom(pendingFlush, co.cycle)
+	}
+}
+
+// overlap reports whether two 8-byte accesses conflict.
+func overlap(a, b uint64) bool { return a>>3 == b>>3 }
+
+// execLoad performs the memory-side work of a load executing in the IXU
+// (inIXU=true) or the OXU: the store-queue forwarding search, the L1D
+// access, and the load-queue write — which FXA omits for IXU loads whose
+// predecessor stores have all executed (Section II-D3, omission 2).
+// It returns the load-to-use latency.
+func (co *Core) execLoad(u *uop, inIXU bool) int {
+	co.c.SQSearches++
+	forwarded := false
+	for i := len(co.sq) - 1; i >= 0; i-- {
+		st := co.sq[i]
+		if st.rec.Seq < u.rec.Seq && st.executed && overlap(st.ea, u.ea) {
+			forwarded = true
+			break
+		}
+	}
+	var lat int
+	hit := co.mem.L1D.Config().HitLatency
+	if forwarded {
+		co.c.StoreForwarded++
+		lat = hit // forwarded from the SQ
+	} else {
+		lat = co.mem.DataRead(u.ea)
+		if lat > hit && co.mshrFree != nil {
+			// A miss needs a free MSHR; when all are busy the fill
+			// waits, bounding memory-level parallelism.
+			slot := 0
+			for i, f := range co.mshrFree {
+				if f < co.mshrFree[slot] {
+					slot = i
+				}
+			}
+			start := co.cycle
+			if co.mshrFree[slot] > start {
+				start = co.mshrFree[slot]
+			}
+			co.mshrFree[slot] = start + int64(lat) // occupied for the fill
+			lat += int(start - co.cycle)           // plus the wait for a slot
+		}
+	}
+
+	allOlderStoresDone := true
+	for _, st := range co.sq {
+		if st.rec.Seq < u.rec.Seq && !st.executed {
+			allOlderStoresDone = false
+			break
+		}
+	}
+	if inIXU && allOlderStoresDone {
+		co.c.LQWriteOmitted++
+	} else {
+		u.lqWritten = true
+		co.c.LQWrites++
+	}
+	return lat
+}
+
+// execStore performs the memory-side work of a store executing in the IXU
+// or the OXU: the SQ write, store-set bookkeeping, and the load-queue
+// violation search — which FXA omits for IXU stores because no younger
+// load can have executed yet (Section II-D3, omission 1). It returns the
+// sequence number to flush from and whether a violation was detected.
+func (co *Core) execStore(u *uop, inIXU bool) (uint64, bool) {
+	co.c.SQWrites++
+	co.ss.StoreExecuted(u.rec.PC, u.rec.Seq)
+	if inIXU {
+		co.c.LQSearchOmitted++
+		return 0, false
+	}
+	co.c.LQSearches++
+	for _, ld := range co.lq { // program order: first match is the oldest
+		if ld.rec.Seq > u.rec.Seq && ld.lqWritten && ld.executed && overlap(ld.ea, u.ea) {
+			co.c.MemViolations++
+			co.ss.Violation(ld.rec.PC, u.rec.PC)
+			return ld.rec.Seq, true
+		}
+	}
+	return 0, false
+}
+
+// commit retires up to CommitWidth completed instructions in program
+// order, releasing their resources. Stores write the data cache here
+// (Section II-D, footnote 4).
+func (co *Core) commit() {
+	for n := 0; n < co.cfg.CommitWidth && len(co.rob) > 0; n++ {
+		u := co.rob[0]
+		if !u.executed || u.resultCycle > co.cycle {
+			return
+		}
+		if u.executedInIXU && u.prfCycle > co.cycle {
+			return // still in the IXU pipeline
+		}
+		co.rob = co.rob[1:]
+		co.traceStage(u, "Cm")
+		co.traceRetire(u, false)
+		if u.isLoad() {
+			co.lq = co.lq[1:]
+		}
+		if u.isStore() {
+			co.sq = co.sq[1:]
+			co.mem.DataWrite(u.ea)
+		}
+		if !u.renoElim {
+			co.releaseDest(u)
+		}
+
+		cls := u.rec.Inst.Op.Class()
+		co.c.Committed++
+		co.c.CommittedByClass[cls]++
+		co.c.ROBReads++
+		if u.renoElim {
+			// eliminated: neither IXU nor OXU executed it
+		} else if u.executedInIXU {
+			co.c.IXUExec++
+			if u.ixuExecStage < len(co.c.IXUExecByStage) {
+				co.c.IXUExecByStage[u.ixuExecStage]++
+			}
+			if u.readyAtEntry {
+				co.c.IXUReadyAtEntry++
+			}
+		} else {
+			co.c.OXUExec++
+		}
+		co.lastCommit = co.cycle
+	}
+}

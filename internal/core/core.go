@@ -1,0 +1,331 @@
+// Package core implements the cycle-level timing model of the out-of-order
+// superscalar processor of Table I and, on top of it, the paper's
+// contribution: the Front-end eXecution Architecture (FXA) with its
+// in-order execution unit (IXU) placed between rename and dispatch.
+//
+// The model is execution-driven: a functional emulator supplies the
+// committed-path dynamic instruction stream, and the timing model
+// reconstructs speculation around it. Branch mispredictions stall the fetch
+// stream until the branch resolves (in the IXU or the OXU) plus a redirect
+// latency, so the misprediction penalty — and its reduction when the IXU
+// resolves branches early (Section IV-B2) — emerges from pipeline depth.
+// Memory-order violations flush and replay the in-flight window exactly as
+// a store-set-protected core would (Section II-D3).
+package core
+
+import (
+	"fmt"
+
+	"fxa/internal/bpred"
+	"fxa/internal/config"
+	"fxa/internal/emu"
+	"fxa/internal/isa"
+	"fxa/internal/mem"
+	"fxa/internal/stats"
+)
+
+// Trace supplies committed-path dynamic instruction records.
+type Trace interface {
+	Next() (emu.Record, bool)
+}
+
+// Result bundles everything a simulation run produces.
+type Result struct {
+	Model    string
+	Counters stats.Counters
+	L1I      mem.CacheStats
+	L1D      mem.CacheStats
+	L2       mem.CacheStats
+	DRAM     uint64
+	Bpred    bpred.Stats
+	StoreSet bpred.StoreSetStats
+}
+
+// minIssueDelay is the dispatch-to-earliest-issue depth of the scheduling
+// pipeline (wakeup/select/payload stages). Together with
+// Model.FrontendDepth and RedirectLatency it produces the Table I
+// misprediction penalties (11 cycles for BIG).
+const minIssueDelay = 2
+
+// violationRecovery is the extra recovery latency of a memory-order
+// violation flush beyond the redirect latency.
+const violationRecovery = 2
+
+// deadlockWindow is the number of cycles without a commit after which the
+// simulator reports a model bug instead of spinning forever.
+const deadlockWindow = 200_000
+
+// Core is one out-of-order (optionally FXA) core simulation.
+type Core struct {
+	cfg   config.Model
+	trace Trace
+	mem   *mem.Hierarchy
+	bp    *bpred.Predictor
+	ss    *bpred.StoreSet
+	c     stats.Counters
+
+	cycle int64
+
+	// Fetch state.
+	replay     []emu.Record // flushed records awaiting re-fetch, in order
+	fetchStall int64        // fetch allowed when cycle >= fetchStall
+	blockingBr *uop         // unresolved mispredicted branch gating fetch
+	blockStart int64        // cycle fetch became blocked (for wrong-path accounting)
+	lastLine   uint64       // last I-cache line fetched (+1 so 0 means none)
+	traceDone  bool
+	pendingRec *emu.Record // record fetched from trace but not yet issued to pipeline
+
+	// Front-end delay line: fetched uops waiting to reach rename.
+	feQueue []*uop
+
+	// Rename state.
+	rat      [2][isa.NumIntRegs]*uop // last in-flight producer per arch reg
+	intInUse int                     // physical int registers held by in-flight uops
+	fpInUse  int
+
+	// IXU pipeline: stage 0 is the entry stage. nil-padded slots.
+	ixu [][]*uop
+
+	// OXU.
+	iq  []*uop
+	rob []*uop // program order
+
+	lq []*uop
+	sq []*uop
+
+	intFU []int64 // busy-until cycle per FU
+	memFU []int64
+	fpFU  []int64
+
+	// memPortsThisCycle counts LSQ/L1D port grants in the current cycle;
+	// the OXU issues first, so the IXU only uses leftover ports
+	// (Section II-D3).
+	memPortsThisCycle int
+
+	// mshrFree holds the cycle each miss-status register frees up;
+	// an L1D miss occupies one for its full duration, bounding
+	// memory-level parallelism (Model.MSHRs).
+	mshrFree []int64
+
+	lastCommit int64
+
+	// debug, when non-nil, is invoked at the end of every simulated cycle.
+	debug func()
+
+	// tracer, when non-nil, receives pipeline events (see tracer.go).
+	tracer      PipeTracer
+	nextTraceID uint64
+}
+
+// New builds a core simulation for model cfg fed by trace.
+func New(cfg config.Model, trace Trace) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Kind != config.OutOfOrder {
+		return nil, fmt.Errorf("core: model %s is not an out-of-order core (use internal/inorder)", cfg.Name)
+	}
+	co := &Core{
+		cfg:   cfg,
+		trace: trace,
+		mem:   mem.NewHierarchy(cfg.Mem),
+		bp:    bpred.New(cfg.Bpred),
+		ss:    bpred.NewStoreSet(4096, 256),
+		intFU: make([]int64, cfg.IntFUs),
+		memFU: make([]int64, cfg.MemFUs),
+		fpFU:  make([]int64, cfg.FPFUs),
+	}
+	if cfg.FX {
+		co.ixu = make([][]*uop, cfg.IXU.Stages())
+		for i := range co.ixu {
+			co.ixu[i] = make([]*uop, 0, cfg.FetchWidth)
+		}
+	}
+	if cfg.MSHRs > 0 {
+		co.mshrFree = make([]int64, cfg.MSHRs)
+	}
+	return co, nil
+}
+
+// frontDepth returns the fetch-to-rename latency in cycles: the base
+// front-end depth plus one stage for FXA's sequential scoreboard→PRF read
+// (Section III-B).
+func (co *Core) frontDepth() int64 {
+	d := int64(co.cfg.FrontendDepth)
+	if co.cfg.FX {
+		d++
+	}
+	return d
+}
+
+// Run simulates until the trace is exhausted and the pipeline drains,
+// returning the collected statistics.
+func (co *Core) Run() (Result, error) {
+	for {
+		co.cycle++
+		co.memPortsThisCycle = 0
+		co.commit()
+		co.issue()
+		if co.cfg.FX {
+			co.ixuStep()
+		}
+		co.rename()
+		co.fetch()
+		if co.debug != nil {
+			co.debug()
+		}
+		if co.traceDone && len(co.rob) == 0 && len(co.feQueue) == 0 && co.ixuEmpty() && len(co.replay) == 0 && co.pendingRec == nil {
+			break
+		}
+		if co.cycle-co.lastCommit > deadlockWindow {
+			return Result{}, fmt.Errorf("core: %s deadlocked at cycle %d (rob=%d iq=%d fe=%d)",
+				co.cfg.Name, co.cycle, len(co.rob), len(co.iq), len(co.feQueue))
+		}
+	}
+	co.c.Cycles = uint64(co.cycle)
+	res := Result{
+		Model:    co.cfg.Name,
+		Counters: co.c,
+		L1I:      co.mem.L1I.Stats,
+		L1D:      co.mem.L1D.Stats,
+		L2:       co.mem.L2.Stats,
+		DRAM:     co.mem.DRAM.Accesses,
+		Bpred:    co.bp.Stats,
+		StoreSet: co.ss.Stats,
+	}
+	return res, nil
+}
+
+func (co *Core) ixuEmpty() bool {
+	for _, st := range co.ixu {
+		if len(st) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// flushFrom squashes every in-flight uop at or younger than seq (program
+// order) and queues their records for re-fetch. Used for memory-order
+// violation recovery.
+func (co *Core) flushFrom(seq uint64, when int64) {
+	co.c.Replays++
+
+	// Collect squashed records in program order: ROB suffix, then the
+	// IXU contents, then the front-end queue (all younger than the ROB).
+	var recs []emu.Record
+	cut := len(co.rob)
+	for i, u := range co.rob {
+		if u.rec.Seq >= seq {
+			cut = i
+			break
+		}
+	}
+	for _, u := range co.rob[cut:] {
+		recs = append(recs, u.rec)
+	}
+	squashed := make(map[*uop]bool, len(co.rob)-cut+8)
+	for _, u := range co.rob[cut:] {
+		squashed[u] = true
+		co.releaseDest(u)
+		co.traceRetire(u, true)
+	}
+	co.rob = co.rob[:cut]
+
+	// IXU stages hold uops that are renamed (in the ROB already), so they
+	// are covered by the ROB walk; just clear them from the stages.
+	for s := range co.ixu {
+		keep := co.ixu[s][:0]
+		for _, u := range co.ixu[s] {
+			if !squashed[u] {
+				keep = append(keep, u)
+			}
+		}
+		co.ixu[s] = keep
+	}
+
+	// Front-end queue uops are younger than everything renamed.
+	for _, u := range co.feQueue {
+		if u.rec.Seq >= seq {
+			recs = append(recs, u.rec)
+			squashed[u] = true
+			co.traceRetire(u, true)
+		}
+	}
+	keepFE := co.feQueue[:0]
+	for _, u := range co.feQueue {
+		if !squashed[u] {
+			keepFE = append(keepFE, u)
+		}
+	}
+	co.feQueue = keepFE
+
+	// IQ.
+	keepIQ := co.iq[:0]
+	for _, u := range co.iq {
+		if !squashed[u] {
+			keepIQ = append(keepIQ, u)
+		}
+	}
+	co.iq = keepIQ
+
+	// LSQ.
+	keepLQ := co.lq[:0]
+	for _, u := range co.lq {
+		if !squashed[u] {
+			keepLQ = append(keepLQ, u)
+		}
+	}
+	co.lq = keepLQ
+	keepSQ := co.sq[:0]
+	for _, u := range co.sq {
+		if !squashed[u] {
+			keepSQ = append(keepSQ, u)
+		}
+	}
+	co.sq = keepSQ
+
+	// Rebuild the RAT from the surviving window. An eliminated move maps
+	// its destination back to the aliased producer, not to itself.
+	co.rat = [2][isa.NumIntRegs]*uop{}
+	for _, u := range co.rob {
+		if u.hasDst {
+			if u.renoElim {
+				co.rat[u.dst.File][u.dst.Index] = u.srcs[0]
+			} else {
+				co.rat[u.dst.File][u.dst.Index] = u
+			}
+		}
+	}
+
+	// A squashed mispredicted branch no longer gates fetch.
+	if co.blockingBr != nil && squashed[co.blockingBr] {
+		co.blockingBr = nil
+	}
+
+	co.c.ReplayedUops += uint64(len(recs))
+	// Not-yet-fetched records (a stalled fetch, earlier replays) are all
+	// younger than the squashed window; keep program order.
+	if co.pendingRec != nil {
+		recs = append(recs, *co.pendingRec)
+		co.pendingRec = nil
+	}
+	co.replay = append(recs, co.replay...)
+	co.lastLine = 0 // refetch the line after the redirect
+	resume := when + int64(co.cfg.RedirectLatency) + violationRecovery
+	if resume > co.fetchStall {
+		co.fetchStall = resume
+	}
+}
+
+// releaseDest returns the physical register held by u to the free pool.
+func (co *Core) releaseDest(u *uop) {
+	if !u.hasDst {
+		return
+	}
+	if u.dst.File == isa.IntFile {
+		co.intInUse--
+	} else {
+		co.fpInUse--
+	}
+}

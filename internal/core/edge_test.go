@@ -1,0 +1,178 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fxa/internal/config"
+)
+
+// TestPRFExhaustionStallsRename shrinks the physical register file until
+// it binds: fewer rename registers must cost IPC but never correctness.
+func TestPRFExhaustionStallsRename(t *testing.T) {
+	src := ilpKernel
+	big := config.Big()
+	tiny := config.Big()
+	tiny.IntPRF = 36 // only 4 rename registers beyond the architectural 32
+	full := runModel(t, big, src)
+	small := runModel(t, tiny, src)
+	if small.Counters.IPC() >= full.Counters.IPC() {
+		t.Errorf("tiny PRF IPC %.3f should be below full PRF IPC %.3f",
+			small.Counters.IPC(), full.Counters.IPC())
+	}
+}
+
+// TestROBBinding shrinks the reorder buffer under memory latency.
+func TestROBBinding(t *testing.T) {
+	src := `
+	li   r9, 1000
+	lda  r8, buf
+loop:	ld   r1, 0(r8)
+	ld   r2, 4096(r8)
+	addi r8, r8, 128
+	addi r20, r20, 1
+	addi r21, r21, 2
+	addi r9, r9, -1
+	bgt  r9, loop
+	halt
+	.org 0x100000
+buf:	.space 8
+	`
+	big := config.Big()
+	small := config.Big()
+	small.ROBEntries = 16
+	full := runModel(t, big, src)
+	tiny := runModel(t, small, src)
+	if tiny.Counters.IPC() >= full.Counters.IPC() {
+		t.Errorf("16-entry ROB IPC %.3f should be below 128-entry IPC %.3f",
+			tiny.Counters.IPC(), full.Counters.IPC())
+	}
+}
+
+// TestIXUDispatchBackpressure: with a 2-entry IQ, not-executed
+// instructions clog dispatch and the IXU must stall without losing
+// instructions.
+func TestIXUDispatchBackpressure(t *testing.T) {
+	m := config.HalfFX()
+	m.IQEntries = 2
+	// FP-heavy body: almost everything needs the IQ.
+	res := runModel(t, m, `
+	li   r9, 300
+	lda  r8, d
+	ldf  f1, 0(r8)
+	ldf  f2, 8(r8)
+loop:	fadd f3, f1, f2
+	fmul f4, f3, f1
+	fadd f5, f4, f2
+	fmul f6, f5, f1
+	addi r9, r9, -1
+	bgt  r9, loop
+	halt
+	.org 0x10000
+d:	.double 1.5, 2.5
+	`)
+	if res.Counters.Committed == 0 {
+		t.Fatal("no commits under dispatch backpressure")
+	}
+	if res.Counters.IPC() <= 0.1 {
+		t.Errorf("IPC %.3f collapsed under a 2-entry IQ", res.Counters.IPC())
+	}
+}
+
+// TestZeroRegisterNeverRenamed: writes to r31 must not consume physical
+// registers or create dependencies.
+func TestZeroRegisterNeverRenamed(t *testing.T) {
+	res := runModel(t, config.HalfFX(), `
+	li   r9, 500
+loop:	add  r31, r9, r9    ; discarded writes
+	add  r1, r31, r31   ; always-zero sources, never dependent
+	add  r31, r1, r9
+	addi r9, r9, -1
+	bgt  r9, loop
+	halt
+	`)
+	// All in IXU: the r31 writes create no dependencies to wait on.
+	if rate := res.Counters.IXURate(); rate < 0.9 {
+		t.Errorf("zero-register loop IXU rate %.2f, want ~1.0", rate)
+	}
+}
+
+// TestRASHelpsFunctionReturns measures returns from two call sites: with
+// the RAS the indirect-jump returns predict correctly.
+func TestRASHelpsFunctionReturns(t *testing.T) {
+	src := `
+	li   r9, 2000
+	lda  r10, fn
+loop:	jmp  r27, (r10)     ; call site 1
+	addi r20, r20, 1
+	jmp  r27, (r10)     ; call site 2
+	addi r21, r21, 1
+	addi r9, r9, -1
+	bgt  r9, loop
+	halt
+fn:	addi r22, r22, 1
+	jmp  r31, (r27)     ; return: alternating targets
+	`
+	res := runModel(t, config.Big(), src)
+	// 4000 returns with alternating targets: a BTB alone would miss
+	// ~half; the RAS gets nearly all.
+	if res.Counters.BranchMispredicts > 200 {
+		t.Errorf("%d mispredicts on RAS-predictable returns", res.Counters.BranchMispredicts)
+	}
+}
+
+// TestFetchStopsAtTakenBranch: a taken branch ends its fetch group, so a
+// 1-instruction loop body cannot exceed 1 instruction per cycle ever.
+func TestFetchStopsAtTakenBranch(t *testing.T) {
+	res := runModel(t, config.Big(), `
+	li   r9, 3000
+loop:	addi r9, r9, -1
+	bgt  r9, loop
+	halt
+	`)
+	if ipc := res.Counters.IPC(); ipc > 2.0 {
+		t.Errorf("IPC %.3f impossible with taken-branch fetch breaks", ipc)
+	}
+}
+
+// TestLongProgramDoesNotLeakPipelineState runs a larger I-footprint
+// program twice on one model type and checks determinism.
+func TestDeterministicRuns(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("\tli r9, 200\nloop:\n")
+	for i := 0; i < 200; i++ {
+		b.WriteString("\taddi r1, r1, 1\n\txor r2, r2, r1\n")
+	}
+	b.WriteString("\taddi r9, r9, -1\n\tbgt r9, loop\n\thalt\n")
+	src := b.String()
+	a := runModel(t, config.HalfFX(), src)
+	c := runModel(t, config.HalfFX(), src)
+	if a.Counters.Cycles != c.Counters.Cycles || a.Counters.IXUExec != c.Counters.IXUExec {
+		t.Errorf("non-deterministic: %d/%d cycles, %d/%d IXU",
+			a.Counters.Cycles, c.Counters.Cycles, a.Counters.IXUExec, c.Counters.IXUExec)
+	}
+}
+
+// TestStoreDataDependency: a store whose data operand is produced by a
+// long-latency op must not commit early.
+func TestStoreDataDependency(t *testing.T) {
+	res := runModel(t, config.HalfFX(), `
+	li   r9, 200
+	lda  r8, buf
+	li   r7, 1000000
+	li   r6, 3
+loop:	div  r1, r7, r6     ; slow producer
+	st   r1, 0(r8)      ; store waits for data
+	ld   r2, 0(r8)      ; forwarded or refetched, must see the div result
+	addi r9, r9, -1
+	bgt  r9, loop
+	halt
+	.org 0x20000
+buf:	.space 8
+	`)
+	// Stores of div results cannot run in the IXU (data never ready in
+	// time).
+	if res.Counters.IXUStoreExec > 10 {
+		t.Errorf("IXU executed %d stores whose data comes from a divide", res.Counters.IXUStoreExec)
+	}
+}

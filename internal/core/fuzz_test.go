@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fxa/internal/asm"
+	"fxa/internal/config"
+	"fxa/internal/emu"
+)
+
+// progGen generates random but always-terminating programs: straight-line
+// blocks of random instructions inside a fixed down-counting loop, with
+// random loads/stores into a private scratch region and random
+// data-dependent forward branches.
+type progGen struct {
+	r *rand.Rand
+	b strings.Builder
+	n int // emitted instruction count (approximate)
+}
+
+func (g *progGen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+	g.n++
+}
+
+func (g *progGen) reg() int { return 1 + g.r.Intn(20) } // r1..r20
+
+func (g *progGen) freg() int { return 1 + g.r.Intn(12) }
+
+// generate returns assembly for a random program with the given loop trip
+// count and body size.
+func generate(seed int64, iters, body int) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	g.b.WriteString("\t.org 0x1000\n")
+	g.emit("li r21, %d", iters)
+	g.emit("li r22, 0x40000")              // scratch base
+	g.emit("li r23, 0x7ff8")               // scratch mask (32 KB)
+	g.emit("li r24, %d", 1+g.r.Intn(1000)) // seed value
+	g.b.WriteString("loop:\n")
+	skip := 0
+	for i := 0; i < body; i++ {
+		if skip > 0 {
+			skip--
+		}
+		switch g.r.Intn(12) {
+		case 0, 1, 2:
+			ops := []string{"add", "sub", "xor", "or", "and", "cmplt", "cmpeq"}
+			g.emit("%s r%d, r%d, r%d", ops[g.r.Intn(len(ops))], g.reg(), g.reg(), g.reg())
+		case 3:
+			g.emit("addi r%d, r%d, %d", g.reg(), g.reg(), g.r.Intn(2000)-1000)
+		case 4:
+			g.emit("slli r%d, r%d, %d", g.reg(), g.reg(), g.r.Intn(8))
+		case 5:
+			g.emit("mul r%d, r%d, r%d", g.reg(), g.reg(), g.reg())
+		case 6:
+			g.emit("div r%d, r%d, r%d", g.reg(), g.reg(), g.reg())
+		case 7: // load from scratch (masked address)
+			a, d := g.reg(), g.reg()
+			g.emit("and r30, r%d, r23", a)
+			g.emit("add r30, r30, r22")
+			g.emit("ld r%d, 0(r30)", d)
+		case 8: // store to scratch
+			a, d := g.reg(), g.reg()
+			g.emit("and r30, r%d, r23", a)
+			g.emit("add r30, r30, r22")
+			g.emit("st r%d, 8(r30)", d)
+		case 9: // FP op on initialized FP regs
+			ops := []string{"fadd", "fsub", "fmul"}
+			g.emit("%s f%d, f%d, f%d", ops[g.r.Intn(len(ops))], g.freg(), g.freg(), g.freg())
+		case 10: // forward branch over the next instruction
+			if skip == 0 && i+2 < body {
+				lbl := fmt.Sprintf("f%d", i)
+				g.emit("beq r%d, %s", g.reg(), lbl)
+				g.emit("addi r%d, r%d, 1", g.reg(), g.reg())
+				g.b.WriteString(lbl + ":\n")
+				skip = 1
+			}
+		case 11: // rotate the seed so branch conditions vary
+			g.emit("slli r25, r24, 13")
+			g.emit("xor r24, r24, r25")
+			g.emit("srli r25, r24, 7")
+			g.emit("xor r24, r24, r25")
+		}
+	}
+	g.emit("addi r21, r21, -1")
+	g.emit("bgt r21, loop")
+	g.emit("halt")
+	// FP init data + regs.
+	src := g.b.String()
+	init := "\tli r29, 0x3a000\n\tldf f0, 0(r29)\n"
+	for i := 1; i <= 12; i++ {
+		init += fmt.Sprintf("\tcvtif f%d, r%d\n", i, i+8)
+	}
+	src = strings.Replace(src, "loop:\n", init+"loop:\n", 1)
+	src += "\t.org 0x3a000\n\t.double 1.5\n"
+	return src
+}
+
+// TestFuzzAllModelsMatchEmulator generates random programs and checks the
+// fundamental timing-model invariant on every model: the committed
+// instruction stream is exactly the architectural one (same count, and
+// the pipeline drains without deadlock), regardless of speculation,
+// replays, and IXU/OXU splits.
+func TestFuzzAllModelsMatchEmulator(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 42, 1234, 99999}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	models := []config.Model{config.Big(), config.Half(), config.BigFX(), config.HalfFX()}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			src := generate(seed, 200, 40)
+			prog, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			golden := emu.New(prog)
+			want, err := golden.Run(10_000_000)
+			if err != nil {
+				t.Fatalf("seed %d emulate: %v", seed, err)
+			}
+			if !golden.Halt {
+				t.Fatalf("seed %d: generated program did not halt", seed)
+			}
+			for _, m := range models {
+				co, err := New(m, emu.NewStream(emu.New(prog), 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := co.Run()
+				if err != nil {
+					t.Fatalf("seed %d on %s: %v", seed, m.Name, err)
+				}
+				c := &res.Counters
+				if c.Committed != want {
+					t.Errorf("seed %d on %s: committed %d, want %d", seed, m.Name, c.Committed, want)
+				}
+				if c.IXUExec+c.OXUExec != c.Committed {
+					t.Errorf("seed %d on %s: IXU(%d)+OXU(%d) != committed(%d)",
+						seed, m.Name, c.IXUExec, c.OXUExec, c.Committed)
+				}
+				if m.FX && c.IQDispatch != c.OXUExec {
+					t.Errorf("seed %d on %s: dispatches(%d) != OXU executions(%d)",
+						seed, m.Name, c.IQDispatch, c.OXUExec)
+				}
+				if c.Replays != c.MemViolations {
+					t.Errorf("seed %d on %s: replays(%d) != violations(%d)",
+						seed, m.Name, c.Replays, c.MemViolations)
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzDivHeavy stresses unpipelined dividers and FU occupancy.
+func TestFuzzDivHeavy(t *testing.T) {
+	src := `
+	li r21, 300
+	li r1, 1000000
+	li r2, 7
+loop:	div r3, r1, r2
+	div r4, r3, r2
+	mul r5, r3, r4
+	div r6, r5, r2
+	addi r21, r21, -1
+	bgt r21, loop
+	halt
+	`
+	prog := asm.MustAssemble(src)
+	want, _ := emu.New(prog).Run(1_000_000)
+	for _, m := range []config.Model{config.Big(), config.HalfFX()} {
+		co, err := New(m, emu.NewStream(emu.New(prog), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.Committed != want {
+			t.Errorf("%s: committed %d, want %d", m.Name, res.Counters.Committed, want)
+		}
+		// Serial 12-cycle divides bound the IPC well below 1.
+		if ipc := res.Counters.IPC(); ipc > 0.5 {
+			t.Errorf("%s: div-chain IPC %.2f implausibly high", m.Name, ipc)
+		}
+	}
+}

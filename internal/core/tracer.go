@@ -1,0 +1,47 @@
+package core
+
+// PipeTracer receives pipeline events for visualization. The canonical
+// implementation is internal/pipetrace, which writes the Kanata log format
+// readable by the Konata pipeline viewer (the visualizer ecosystem of the
+// paper's own research group).
+//
+// Every dynamic instruction instance gets a unique id; a flushed and
+// replayed instruction appears as a new instance carrying the same
+// program-order sequence number.
+type PipeTracer interface {
+	// Start announces a new in-flight instance.
+	Start(cycle int64, id uint64, seq uint64, pc uint64, disasm string)
+	// Stage marks the instance entering a pipeline stage this cycle
+	// (stages: F, Rn, X0..Xn, Ds, Is, Ex, Cm).
+	Stage(cycle int64, id uint64, stage string)
+	// Retire removes the instance: committed (flushed=false) or squashed
+	// by a replay (flushed=true).
+	Retire(cycle int64, id uint64, flushed bool)
+}
+
+// SetTracer attaches a pipeline tracer. Must be called before Run.
+func (co *Core) SetTracer(t PipeTracer) { co.tracer = t }
+
+func (co *Core) traceStart(u *uop) {
+	if co.tracer == nil {
+		return
+	}
+	u.traceID = co.nextTraceID
+	co.nextTraceID++
+	co.tracer.Start(co.cycle, u.traceID, u.rec.Seq, u.rec.PC, u.rec.Inst.String())
+	co.tracer.Stage(co.cycle, u.traceID, "F")
+}
+
+func (co *Core) traceStage(u *uop, stage string) {
+	if co.tracer == nil {
+		return
+	}
+	co.tracer.Stage(co.cycle, u.traceID, stage)
+}
+
+func (co *Core) traceRetire(u *uop, flushed bool) {
+	if co.tracer == nil {
+		return
+	}
+	co.tracer.Retire(co.cycle, u.traceID, flushed)
+}

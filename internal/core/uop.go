@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+
+	"fxa/internal/emu"
+	"fxa/internal/isa"
+)
+
+// farFuture marks a cycle that never arrives (operand not available,
+// result not scheduled).
+const farFuture = math.MaxInt64 / 4
+
+// uop is one in-flight dynamic instruction instance. A flushed instruction
+// is re-injected as a fresh uop carrying the same emu.Record, so rec.Seq
+// identifies the program-order position while pointer identity identifies
+// the pipeline instance.
+type uop struct {
+	rec emu.Record
+
+	// Dependencies. srcs[i] is the in-flight producer of the i-th source
+	// operand, or nil when the value comes from architectural state that
+	// is already committed.
+	srcs [3]*uop
+	nsrc int
+	// srcAvail[i] is the cycle from which the i-th operand is available
+	// to this uop *inside the IXU*: set from the front-end PRF read at
+	// entry, or by a bypass capture when the producer executes in the
+	// IXU. farFuture when (not yet) available.
+	srcAvail [3]int64
+
+	dst    isa.Reg
+	hasDst bool
+
+	// Pipeline lifecycle cycles.
+	fetchCycle    int64
+	renameCycle   int64
+	dispatchCycle int64 // IQ entry write (farFuture until dispatched)
+
+	inIXU         bool
+	ixuStage      int // current IXU stage (updated as the pipeline shifts)
+	ixuExecStage  int // stage the instruction executed at (valid when executedInIXU)
+	executedInIXU bool
+	readyAtEntry  bool // category (a): all operands from the front-end PRF read
+
+	inIQ     bool
+	issued   bool
+	executed bool
+
+	// execCycle is the cycle execution (or the IXU execution attempt
+	// that succeeded) happened; resolution point for branches.
+	execCycle int64
+	// resultCycle is the cycle from which the result is available to
+	// consumers in the same domain via bypass (issue/exec + latency).
+	resultCycle int64
+	// prfCycle is the cycle from which the result is readable from the
+	// PRF (writeback for OXU results; IXU exit for IXU results).
+	prfCycle int64
+
+	// Branch state.
+	mispredict bool // direction or target mispredicted at fetch
+
+	// Memory state.
+	ea        uint64
+	lqIdx     int // index into the load queue, -1 if none
+	sqIdx     int
+	lqWritten bool // LQ entry holds an executed address (violation-visible)
+	depStore  *uop // store-set predicted dependence; wait until it executes
+
+	robIdx int
+
+	// renoElim marks a move eliminated at rename (RENO extension): the
+	// RAT maps its destination to its source's producer and the
+	// instruction consumes no execution resources.
+	renoElim bool
+
+	// traceID identifies this instance to an attached PipeTracer.
+	traceID uint64
+}
+
+func (u *uop) isLoad() bool  { return u.rec.Inst.Op.Class() == isa.ClassLoad }
+func (u *uop) isStore() bool { return u.rec.Inst.Op.Class() == isa.ClassStore }
+
+// resultAvailableTo reports the cycle from which a consumer in the OXU can
+// use this producer's result: bypass availability for OXU-executed
+// producers, PRF availability for IXU-executed ones (no IXU→OXU bypass,
+// Section III-A1 — but the IXU result is in the PRF before any OXU
+// consumer can issue).
+func (u *uop) availToOXU() int64 {
+	if u.executedInIXU {
+		return u.prfCycle
+	}
+	return u.resultCycle
+}
+
+// newUop builds a uop from a trace record at fetch time.
+func newUop(rec emu.Record, cycle int64) *uop {
+	u := &uop{
+		rec:           rec,
+		fetchCycle:    cycle,
+		renameCycle:   farFuture,
+		dispatchCycle: farFuture,
+		execCycle:     farFuture,
+		resultCycle:   farFuture,
+		prfCycle:      farFuture,
+		lqIdx:         -1,
+		sqIdx:         -1,
+		robIdx:        -1,
+	}
+	var buf [3]isa.Reg
+	srcs := rec.Inst.Srcs(buf[:0])
+	u.nsrc = len(srcs)
+	for i := range u.srcAvail {
+		u.srcAvail[i] = farFuture
+	}
+	if dst, ok := rec.Inst.Dst(); ok {
+		u.dst, u.hasDst = dst, true
+	}
+	u.ea = rec.EA
+	return u
+}
+
+// srcRegs recomputes the architectural source registers (needed at rename
+// to look up producers in the RAT).
+func (u *uop) srcRegs() []isa.Reg {
+	var buf [3]isa.Reg
+	return u.rec.Inst.Srcs(buf[:0])
+}

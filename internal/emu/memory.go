@@ -1,0 +1,124 @@
+// Package emu implements the functional (architectural) emulator for the
+// ISA: a sparse 64-bit memory, architectural register state, single-step
+// execution with full instruction semantics, and a pull-based dynamic
+// instruction stream used to drive the timing models.
+package emu
+
+import "encoding/binary"
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, paged, little-endian byte-addressable memory.
+// Reads of unwritten locations return zero.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Load8 returns the byte at addr.
+func (m *Memory) Load8(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// Store8 stores b at addr.
+func (m *Memory) Store8(addr uint64, b byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = b
+}
+
+// Read64 loads the 8-byte little-endian value at addr. The access may
+// straddle a page boundary.
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off : off+8])
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Load8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores the 8-byte little-endian value v at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Store8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// Read16 loads the 2-byte little-endian value at addr.
+func (m *Memory) Read16(addr uint64) uint16 {
+	return uint16(m.Load8(addr)) | uint16(m.Load8(addr+1))<<8
+}
+
+// Write16 stores the 2-byte little-endian value v at addr.
+func (m *Memory) Write16(addr uint64, v uint16) {
+	m.Store8(addr, byte(v))
+	m.Store8(addr+1, byte(v>>8))
+}
+
+// Write32 stores the 4-byte little-endian value v at addr.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	for i := uint64(0); i < 4; i++ {
+		m.Store8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// Read32 loads the 4-byte little-endian value at addr (used for
+// instruction fetch).
+func (m *Memory) Read32(addr uint64) uint32 {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(p[off : off+4])
+	}
+	var v uint32
+	for i := uint64(0); i < 4; i++ {
+		v |= uint32(m.Load8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// WriteBytes copies data into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, data []byte) {
+	for len(data) > 0 {
+		off := addr & (pageSize - 1)
+		n := copy(m.page(addr, true)[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// Footprint returns the number of resident pages (for tests/statistics).
+func (m *Memory) Footprint() int { return len(m.pages) }

@@ -1,0 +1,104 @@
+package emu
+
+import "testing"
+
+func TestSizedMemoryOps(t *testing.T) {
+	m := run(t, `
+		lda  r1, buf
+		li   r2, 0x123456
+		li   r3, -2
+		st   r2, 0(r1)
+		stb  r3, 8(r1)     ; 0xfe
+		sth  r3, 16(r1)    ; 0xfffe
+		stw  r2, 24(r1)
+		ldbu r4, 8(r1)     ; 0xfe = 254
+		ldbs r5, 8(r1)     ; -2
+		ldhu r6, 16(r1)    ; 0xfffe = 65534
+		ldhs r7, 16(r1)    ; -2
+		ldwu r8, 24(r1)    ; 0x123456
+		ldws r9, 24(r1)    ; 0x123456 (positive)
+		ldbu r10, 0(r1)    ; low byte of 0x123456 = 0x56
+		ldbu r11, 1(r1)    ; 0x34
+		stw  r3, 32(r1)    ; 0xfffffffe
+		ldws r12, 32(r1)   ; -2 (sign-extended 32-bit)
+		ldwu r13, 32(r1)   ; 0xfffffffe
+		halt
+		.org 0x10000
+	buf:	.space 64
+	`)
+	checks := []struct {
+		reg  int
+		want int64
+	}{
+		{4, 254}, {5, -2}, {6, 65534}, {7, -2},
+		{8, 0x123456}, {9, 0x123456}, {10, 0x56}, {11, 0x34},
+		{12, -2}, {13, 0xfffffffe},
+	}
+	for _, c := range checks {
+		if got := int64(m.R[c.reg]); got != c.want {
+			t.Errorf("r%d = %d, want %d", c.reg, got, c.want)
+		}
+	}
+}
+
+func TestExtendedALUOps(t *testing.T) {
+	m := run(t, `
+		li   r1, 0xff0
+		li   r2, 0x0f0
+		andnot r3, r1, r2   ; 0xf00
+		ornot  r4, r31, r31 ; ^0 = -1
+		li   r5, -1
+		li   r6, 2
+		mulh r7, r5, r6     ; high((2^64-1)*2) = 1
+		li   r8, 0x1ff
+		sextb r9, r8        ; -1
+		li   r10, 0x7
+		popcnt r11, r10     ; 3
+		clz  r12, r10       ; 61
+		clr  r13
+		clz  r14, r13       ; 64
+		li   r15, 5
+		cmoveq r15, r31, r6 ; ra(r31)==0 -> r15 = 2
+		li   r16, 5
+		cmoveq r16, r6, r10 ; ra(r6)!=0 -> unchanged 5
+		li   r17, 5
+		cmovne r17, r6, r10 ; ra!=0 -> 7
+		halt
+	`)
+	checks := []struct {
+		reg  int
+		want int64
+	}{
+		{3, 0xf00}, {4, -1}, {7, 1}, {9, -1}, {11, 3}, {12, 61}, {14, 64},
+		{15, 2}, {16, 5}, {17, 7},
+	}
+	for _, c := range checks {
+		if got := int64(m.R[c.reg]); got != c.want {
+			t.Errorf("r%d = %d, want %d", c.reg, got, c.want)
+		}
+	}
+}
+
+func TestSextW(t *testing.T) {
+	m := run(t, `
+		li   r1, 0x7fff
+		slli r1, r1, 17     ; bit 31 set
+		sextw r2, r1
+		halt
+	`)
+	if int64(m.R[2]) >= 0 {
+		t.Errorf("sextw of a value with bit 31 set must be negative, got %d", int64(m.R[2]))
+	}
+}
+
+func TestMemory16And32Helpers(t *testing.T) {
+	m := NewMemory()
+	m.Write16(0xfff, 0xBEEF) // straddles a page boundary
+	if m.Read16(0xfff) != 0xBEEF {
+		t.Error("Write16/Read16 straddle broken")
+	}
+	m.Write32(0x2000, 0xDEADBEEF)
+	if m.Read32(0x2000) != 0xDEADBEEF {
+		t.Error("Write32/Read32 broken")
+	}
+}

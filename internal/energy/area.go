@@ -1,0 +1,66 @@
+package energy
+
+import (
+	"fxa/internal/config"
+	"fxa/internal/isa"
+)
+
+// AreaBreakdown holds per-component circuit areas in mm² at the Table II
+// 22 nm node (Figure 9).
+type AreaBreakdown struct {
+	Area [NumComponents]float64
+}
+
+// Total returns the whole-core area.
+func (a *AreaBreakdown) Total() float64 {
+	var t float64
+	for _, v := range a.Area {
+		t += v
+	}
+	return t
+}
+
+// Of returns one component's area.
+func (a *AreaBreakdown) Of(c Component) float64 { return a.Area[c] }
+
+// AreaOf computes the area breakdown of one model. Structure areas scale
+// with capacity × ports for RAM/CAM arrays (the same Weste–Harris rule the
+// energy side uses) and with unit counts for FUs; the L2 and the FPU
+// dominate (Section VI-F, Figure 9a).
+func AreaOf(m config.Model) AreaBreakdown {
+	p := defaultParams
+	var a AreaBreakdown
+
+	// Caches: area per byte.
+	a.Area[L2] = p.CacheAreaPerKB * float64(m.Mem.L2.SizeBytes) / 1024
+	a.Area[L1I] = p.CacheAreaPerKB * l1AreaFactor * float64(m.Mem.L1I.SizeBytes) / 1024
+	a.Area[L1D] = p.CacheAreaPerKB * l1AreaFactor * float64(m.Mem.L1D.SizeBytes) / 1024
+
+	// FPU: per-unit area; an FP unit is tens of times larger than an
+	// integer adder (Section V-A1).
+	a.Area[FPU] = p.FPUArea * float64(m.FPFUs)
+
+	a.Area[Decoder] = p.DecoderAreaPerWay * float64(m.FetchWidth)
+	a.Area[Others] = p.OthersArea
+	a.Area[FUs] = p.IntFUArea * float64(m.IntFUs+m.MemFUs)
+
+	if m.Kind == config.OutOfOrder {
+		a.Area[IQ] = p.IQAreaPerEntryPort * float64(m.IQEntries) * iqPorts(m)
+		a.Area[LSQ] = p.LSQAreaPerEntry * float64(m.LQEntries+m.SQEntries)
+		a.Area[PRF] = p.RFAreaPerEntryPort * float64(m.IntPRF+m.FPPRF) * prfPorts(m)
+		a.Area[RAT] = p.RATArea
+		a.Area[Others] += p.ROBAreaPerEntry * float64(m.ROBEntries)
+	} else {
+		a.Area[PRF] = p.RFAreaPerEntryPort * float64(isa.NumIntRegs+isa.NumFPRegs) * 6
+	}
+	if m.FX {
+		// The IXU is FUs plus a bypass network only (Section II-A); its
+		// area is small relative to the whole core (Figure 9a: +2.7 %).
+		a.Area[IXU] = p.IntFUArea*float64(m.IXU.TotalFUs()) + p.IXUBypassArea
+	}
+	return a
+}
+
+// l1AreaFactor reflects the higher area per byte of fast, highly-ported L1
+// arrays relative to the L2.
+const l1AreaFactor = 1.8

@@ -1,0 +1,102 @@
+package energy
+
+// params holds the calibration constants of the energy/area model.
+// Dynamic energies are in picojoule-like units per event; areas are in
+// mm²-like units at the 22 nm node of Table II; static power is in energy
+// units per area unit per cycle.
+//
+// The constants set absolute scale only. Every reproduced result is a
+// ratio between models, and those ratios are fixed by the structural
+// proportionalities in Estimate/AreaOf (capacity × ports for arrays, FU
+// counts for bypass wires, area × leakage for static power). The values
+// below were chosen so the BIG model's whole-core breakdown matches the
+// McPAT-derived shares of Figure 8a (IQ ≈ 14 %, caches ≈ 25 %, FPU ≈ 10 %,
+// …) on the geometric-mean workload.
+type params struct {
+	// Per-event dynamic energies.
+	ALUOp   float64
+	MulOp   float64
+	DivOp   float64
+	AGUOp   float64
+	FPAddOp float64
+	FPMulOp float64
+	FPDivOp float64
+
+	BypassPerFU float64 // result-wire drive energy per FU on the segment
+
+	IQPerEntryPort float64 // IQ access energy per entry×port
+	IQWakeupFactor float64 // CAM search premium over a RAM access
+
+	LSQPerEntryPort float64
+	LSQWrite        float64
+
+	RFPerEntryPort float64
+	RATAccess      float64
+	ROBAccess      float64
+	DecodeOp       float64
+	FetchOp        float64 // fetch/branch-predict/TLB energy per instruction
+
+	L1Access     float64
+	L1ILineFetch float64 // energy of fetching one full I-cache line
+	L2Access     float64
+
+	// Static model.
+	StaticPerArea float64 // energy per area unit per cycle (HP device)
+	FULeakFactor  float64 // extra leakage of fast FU transistors
+
+	// Areas.
+	CacheAreaPerKB     float64
+	FPUArea            float64
+	DecoderAreaPerWay  float64
+	OthersArea         float64
+	IntFUArea          float64
+	IQAreaPerEntryPort float64
+	LSQAreaPerEntry    float64
+	RFAreaPerEntryPort float64
+	RATArea            float64
+	ROBAreaPerEntry    float64
+	IXUBypassArea      float64
+}
+
+var defaultParams = params{
+	ALUOp:   0.75,
+	MulOp:   2.8,
+	DivOp:   8.0,
+	AGUOp:   0.60,
+	FPAddOp: 1.8,
+	FPMulOp: 2.2,
+	FPDivOp: 7.0,
+
+	BypassPerFU: 0.13,
+
+	IQPerEntryPort: 0.00075,
+	IQWakeupFactor: 1.5,
+
+	LSQPerEntryPort: 0.06,
+	LSQWrite:        1.0,
+
+	RFPerEntryPort: 0.00022,
+	RATAccess:      0.20,
+	ROBAccess:      0.22,
+	DecodeOp:       0.55,
+	FetchOp:        1.05,
+
+	L1Access:     5.0,
+	L1ILineFetch: 11.0,
+	L2Access:     8.0,
+
+	StaticPerArea: 0.55,
+	FULeakFactor:  2.0,
+
+	CacheAreaPerKB:     0.0039,
+	FPUArea:            0.55,
+	DecoderAreaPerWay:  0.05,
+	OthersArea:         0.35,
+	IntFUArea:          0.028,
+	IQAreaPerEntryPort: 0.00014,
+	LSQAreaPerEntry:    0.0011,
+	RFAreaPerEntryPort: 0.000045,
+	RATArea:            0.03,
+	ROBAreaPerEntry:    0.0011,
+	IXUBypassArea:      0.055,
+}

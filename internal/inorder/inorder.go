@@ -1,0 +1,303 @@
+// Package inorder implements the cycle-level timing model of the LITTLE
+// core of Table I: a dual-issue in-order superscalar (Cortex-A53-class)
+// with a scoreboarded register file, in-order issue that stalls on RAW/WAW
+// hazards and structural conflicts, and an 8-cycle branch misprediction
+// penalty. Unlike FXA's IXU — which lets not-ready instructions flow
+// through as NOPs — an in-order pipeline stalls when the oldest
+// instruction is not ready (Section II-B of the paper).
+package inorder
+
+import (
+	"fmt"
+
+	"fxa/internal/bpred"
+	"fxa/internal/config"
+	"fxa/internal/core"
+	"fxa/internal/emu"
+	"fxa/internal/isa"
+	"fxa/internal/mem"
+	"fxa/internal/stats"
+)
+
+// issueDepth is the decode-to-issue depth beyond Model.FrontendDepth;
+// with Table I's LITTLE parameters it yields the 8-cycle misprediction
+// penalty.
+const issueDepth = 2
+
+const deadlockWindow = 200_000
+
+type iuop struct {
+	rec        emu.Record
+	fetchCycle int64
+	mispredict bool
+}
+
+// Core is one in-order core simulation.
+type Core struct {
+	cfg   config.Model
+	trace core.Trace
+	mem   *mem.Hierarchy
+	bp    *bpred.Predictor
+	c     stats.Counters
+
+	cycle      int64
+	fetchStall int64
+	blocked    bool // unresolved mispredicted branch in the queue
+	blockStart int64
+	lastLine   uint64
+	traceDone  bool
+	pending    *emu.Record
+
+	queue []*iuop
+
+	regReady [2][isa.NumIntRegs]int64
+	intFU    []int64
+	memFU    []int64
+	fpFU     []int64
+
+	memPortsThisCycle int
+	lastIssue         int64
+	lastDone          int64
+}
+
+// New builds an in-order core simulation for model cfg fed by trace.
+func New(cfg config.Model, trace core.Trace) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Kind != config.InOrder {
+		return nil, fmt.Errorf("inorder: model %s is not an in-order core", cfg.Name)
+	}
+	return &Core{
+		cfg:   cfg,
+		trace: trace,
+		mem:   mem.NewHierarchy(cfg.Mem),
+		bp:    bpred.New(cfg.Bpred),
+		intFU: make([]int64, cfg.IntFUs),
+		memFU: make([]int64, cfg.MemFUs),
+		fpFU:  make([]int64, cfg.FPFUs),
+	}, nil
+}
+
+// Run simulates to completion and returns the collected statistics.
+func (co *Core) Run() (core.Result, error) {
+	for {
+		co.cycle++
+		co.memPortsThisCycle = 0
+		co.issue()
+		co.fetch()
+		if co.traceDone && len(co.queue) == 0 && co.pending == nil {
+			break
+		}
+		if co.cycle-co.lastIssue > deadlockWindow {
+			return core.Result{}, fmt.Errorf("inorder: %s deadlocked at cycle %d (queue=%d)", co.cfg.Name, co.cycle, len(co.queue))
+		}
+	}
+	end := co.lastDone
+	if co.cycle > end {
+		end = co.cycle
+	}
+	co.c.Cycles = uint64(end)
+	return core.Result{
+		Model:    co.cfg.Name,
+		Counters: co.c,
+		L1I:      co.mem.L1I.Stats,
+		L1D:      co.mem.L1D.Stats,
+		L2:       co.mem.L2.Stats,
+		DRAM:     co.mem.DRAM.Accesses,
+		Bpred:    co.bp.Stats,
+	}, nil
+}
+
+func (co *Core) nextRec() (emu.Record, bool) {
+	if co.pending != nil {
+		r := *co.pending
+		co.pending = nil
+		return r, true
+	}
+	if co.traceDone {
+		return emu.Record{}, false
+	}
+	r, ok := co.trace.Next()
+	if !ok {
+		co.traceDone = true
+	}
+	return r, ok
+}
+
+const lineShift = 6
+
+// fetch mirrors the out-of-order front end: predictor consultation,
+// I-cache access per line, fetch groups ending at taken branches, and a
+// stall after a mispredicted branch until it resolves at execute.
+func (co *Core) fetch() {
+	if co.blocked || co.cycle < co.fetchStall {
+		return
+	}
+	capQ := (co.cfg.FrontendDepth + issueDepth + 2) * co.cfg.FetchWidth
+	for n := 0; n < co.cfg.FetchWidth && len(co.queue) < capQ; n++ {
+		rec, ok := co.nextRec()
+		if !ok {
+			return
+		}
+		line := rec.PC >> lineShift
+		if line+1 != co.lastLine {
+			lat := co.mem.InstFetch(rec.PC)
+			co.lastLine = line + 1
+			hit := co.mem.L1I.Config().HitLatency
+			if lat > hit {
+				co.fetchStall = co.cycle + int64(lat-hit)
+				r := rec
+				co.pending = &r
+				return
+			}
+		}
+		u := &iuop{rec: rec, fetchCycle: co.cycle}
+		in := rec.Inst
+		if in.IsBranch() {
+			co.c.Branches++
+			mispred := false
+			switch {
+			case in.IsCondBranch():
+				_, correct := co.bp.PredictConditional(rec.PC, rec.Taken)
+				mispred = !correct
+				if rec.Taken && !mispred && !co.bp.PredictTarget(rec.PC, rec.NextPC) {
+					co.fetchStall = co.cycle + 2
+				}
+			case in.Op == isa.OpBr:
+				if !co.bp.PredictTarget(rec.PC, rec.NextPC) {
+					co.fetchStall = co.cycle + 2
+				}
+			default: // indirect jump: returns via RAS, calls via BTB
+				if rec.Inst.Op == isa.OpJmp && rec.Inst.Rd == isa.ZeroReg {
+					if !co.bp.Return(rec.PC, rec.NextPC) {
+						mispred = true
+					}
+				} else {
+					if !co.bp.PredictTarget(rec.PC, rec.NextPC) {
+						mispred = true
+					}
+					co.bp.Call(rec.PC + 4)
+				}
+			}
+			if mispred {
+				u.mispredict = true
+				co.c.BranchMispredicts++
+				co.blocked = true
+				co.blockStart = co.cycle
+			}
+		}
+		co.queue = append(co.queue, u)
+		co.c.FetchedInsts++
+		co.c.DecodeOps++
+		if u.mispredict || rec.Taken {
+			return
+		}
+	}
+}
+
+// issue retires up to IssueWidth instructions per cycle strictly in
+// program order, stalling the whole pipeline on the first hazard — the
+// behaviour the paper contrasts with the IXU's flow-through NOPs.
+func (co *Core) issue() {
+	issued := 0
+	for issued < co.cfg.IssueWidth && len(co.queue) > 0 {
+		u := co.queue[0]
+		if co.cycle < u.fetchCycle+int64(co.cfg.FrontendDepth)+issueDepth {
+			return
+		}
+		in := u.rec.Inst
+		cls := in.Op.Class()
+
+		// RAW: all sources ready.
+		var buf [3]isa.Reg
+		srcs := in.Srcs(buf[:0])
+		for _, r := range srcs {
+			if co.regReady[r.File][r.Index] > co.cycle {
+				return
+			}
+		}
+		// WAW interlock: pending write to the destination must complete.
+		dst, hasDst := in.Dst()
+		if hasDst && co.regReady[dst.File][dst.Index] > co.cycle {
+			return
+		}
+		// Structural: FU availability.
+		var pool []int64
+		switch cls {
+		case isa.ClassLoad, isa.ClassStore:
+			pool = co.memFU
+		case isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv:
+			pool = co.fpFU
+		default:
+			pool = co.intFU
+		}
+		fu := -1
+		for i, busy := range pool {
+			if busy <= co.cycle {
+				fu = i
+				break
+			}
+		}
+		if fu < 0 {
+			return
+		}
+		if in.IsMem() && co.memPortsThisCycle >= co.cfg.MemFUs {
+			return
+		}
+
+		// Issue.
+		co.queue = co.queue[1:]
+		issued++
+		co.lastIssue = co.cycle
+		lat := int64(in.Op.Latency())
+		occupancy := int64(1)
+		if cls == isa.ClassIntDiv || cls == isa.ClassFPDiv {
+			occupancy = lat
+		}
+		pool[fu] = co.cycle + occupancy
+		switch cls {
+		case isa.ClassLoad:
+			co.memPortsThisCycle++
+			lat = int64(co.mem.DataRead(u.rec.EA))
+		case isa.ClassStore:
+			co.memPortsThisCycle++
+			// Store buffer: the write drains off the critical path.
+			co.mem.DataWrite(u.rec.EA)
+			lat = 1
+		}
+		done := co.cycle + lat
+		if hasDst {
+			co.regReady[dst.File][dst.Index] = done
+			co.c.PRFWrites++
+		}
+		co.c.PRFReads += uint64(len(srcs))
+		co.c.FUOps[cls]++
+		if done > co.lastDone {
+			co.lastDone = done
+		}
+
+		// Branch resolution at execute.
+		if u.mispredict {
+			resolve := co.cycle + 2
+			resume := resolve + int64(co.cfg.RedirectLatency)
+			if resume > co.fetchStall {
+				co.fetchStall = resume
+			}
+			co.blocked = false
+			stall := resume - co.blockStart
+			if stall > 0 {
+				co.c.MispredPenaltyCycles += uint64(stall)
+				// The in-order front end would have fetched down the
+				// wrong path, but almost nothing executes before the
+				// pipeline blocks on the first not-ready wrong-path
+				// instruction (Section VI-E).
+				co.c.WrongPathFetched += uint64(float64(co.cfg.FetchWidth) * float64(stall) * 0.5)
+				co.c.WrongPathExec += uint64(stall / 4)
+			}
+		}
+
+		co.c.Committed++
+		co.c.CommittedByClass[cls]++
+	}
+}

@@ -1,0 +1,140 @@
+package isa
+
+import "fmt"
+
+// Binary encoding, 32 bits per instruction:
+//
+//	bits [31:24] opcode
+//	R:  rd[23:19] ra[18:14] rb[13:9]
+//	I:  rd[23:19] ra[18:14] imm14[13:0]   (sign-extended)
+//	M:  rd[23:19] ra[18:14] imm14[13:0]   (sign-extended byte displacement)
+//	B:  ra[23:19] disp19[18:0]            (sign-extended word displacement)
+//	J:  rd[23:19] ra[18:14]
+//	N:  no operand fields
+const (
+	immBits  = 14
+	dispBits = 19
+
+	// MaxImm and MinImm bound the I/M-format immediate field.
+	MaxImm = 1<<(immBits-1) - 1
+	MinImm = -(1 << (immBits - 1))
+	// MaxDisp and MinDisp bound the B-format word displacement.
+	MaxDisp = 1<<(dispBits-1) - 1
+	MinDisp = -(1 << (dispBits - 1))
+)
+
+// Encode packs a decoded instruction into its 32-bit binary form. It
+// returns an error when an immediate or displacement does not fit its
+// field, or the opcode is invalid.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	w := uint32(in.Op) << 24
+	switch in.Op.Format() {
+	case FormatR:
+		w |= uint32(in.Rd&31) << 19
+		w |= uint32(in.Ra&31) << 14
+		w |= uint32(in.Rb&31) << 9
+	case FormatI, FormatM:
+		if in.Imm < MinImm || in.Imm > MaxImm {
+			return 0, fmt.Errorf("isa: %s immediate %d out of range [%d, %d]", in.Op.Name(), in.Imm, MinImm, MaxImm)
+		}
+		w |= uint32(in.Rd&31) << 19
+		w |= uint32(in.Ra&31) << 14
+		w |= uint32(in.Imm) & (1<<immBits - 1)
+	case FormatB:
+		if in.Imm < MinDisp || in.Imm > MaxDisp {
+			return 0, fmt.Errorf("isa: %s displacement %d out of range [%d, %d]", in.Op.Name(), in.Imm, MinDisp, MaxDisp)
+		}
+		w |= uint32(in.Ra&31) << 19
+		w |= uint32(in.Imm) & (1<<dispBits - 1)
+	case FormatJ:
+		w |= uint32(in.Rd&31) << 19
+		w |= uint32(in.Ra&31) << 14
+	case FormatN:
+		// opcode only
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit instruction word. It returns an error for an
+// undefined opcode byte.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: undefined opcode byte %#02x", w>>24)
+	}
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.Rd = uint8(w>>19) & 31
+		in.Ra = uint8(w>>14) & 31
+		in.Rb = uint8(w>>9) & 31
+	case FormatI, FormatM:
+		in.Rd = uint8(w>>19) & 31
+		in.Ra = uint8(w>>14) & 31
+		in.Imm = signExtend(w&(1<<immBits-1), immBits)
+	case FormatB:
+		in.Ra = uint8(w>>19) & 31
+		in.Imm = signExtend(w&(1<<dispBits-1), dispBits)
+	case FormatJ:
+		in.Rd = uint8(w>>19) & 31
+		in.Ra = uint8(w>>14) & 31
+	case FormatN:
+	}
+	return in, nil
+}
+
+func signExtend(v uint32, bits int) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// String renders the instruction in assembly syntax.
+func (in Inst) String() string {
+	name := in.Op.Name()
+	inf := &infos[in.Op]
+	rd := func() string {
+		if inf.rdFP {
+			return FPReg(in.Rd).String()
+		}
+		return IntReg(in.Rd).String()
+	}
+	ra := func() string {
+		if inf.raFP {
+			return FPReg(in.Ra).String()
+		}
+		return IntReg(in.Ra).String()
+	}
+	rb := func() string {
+		if inf.rbFP {
+			return FPReg(in.Rb).String()
+		}
+		return IntReg(in.Rb).String()
+	}
+	switch in.Op.Format() {
+	case FormatR:
+		if !inf.hasRb { // unary FP ops
+			return fmt.Sprintf("%s %s, %s", name, rd(), ra())
+		}
+		return fmt.Sprintf("%s %s, %s, %s", name, rd(), ra(), rb())
+	case FormatI:
+		return fmt.Sprintf("%s %s, %s, %d", name, rd(), ra(), in.Imm)
+	case FormatM:
+		src := rd()
+		if inf.rdFP {
+			src = FPReg(in.Rd).String()
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", name, src, in.Imm, IntReg(in.Ra))
+	case FormatB:
+		if in.Op == OpBr {
+			return fmt.Sprintf("%s %d", name, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %d", name, ra(), in.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%s %s, (%s)", name, rd(), ra())
+	default:
+		return name
+	}
+}

@@ -1,0 +1,437 @@
+// Package isa defines the 64-bit Alpha-flavoured RISC instruction set used
+// by the FXA reproduction: opcodes, register files, instruction classes,
+// latencies, and the decoded instruction representation shared by the
+// assembler (internal/asm), the functional emulator (internal/emu), and the
+// timing models (internal/core, internal/inorder).
+//
+// The ISA mirrors the aspects of the Alpha ISA that the paper's mechanism
+// depends on: a 3-operand register machine with separate integer and
+// floating-point register files, compare-against-zero branches, and a clean
+// split between 1-cycle integer operations (IXU-eligible), multi-cycle
+// integer operations, memory operations, and floating-point operations.
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architectural register file sizes.
+// Integer register 31 (ZeroReg) reads as zero and discards writes,
+// following the Alpha convention.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	ZeroReg    = 31
+)
+
+// Opcode identifies an instruction. The zero value is OpNop.
+type Opcode uint8
+
+// Instruction opcodes. The comment gives the assembly syntax.
+const (
+	OpNop Opcode = iota // nop
+
+	// Integer register-register (R format): op rd, ra, rb
+	OpAdd    // add rd, ra, rb
+	OpSub    // sub rd, ra, rb
+	OpMul    // mul rd, ra, rb
+	OpDiv    // div rd, ra, rb (signed; divide by zero yields 0)
+	OpAnd    // and rd, ra, rb
+	OpOr     // or rd, ra, rb
+	OpXor    // xor rd, ra, rb
+	OpSll    // sll rd, ra, rb
+	OpSrl    // srl rd, ra, rb
+	OpSra    // sra rd, ra, rb
+	OpCmpEq  // cmpeq rd, ra, rb (rd = ra==rb ? 1 : 0)
+	OpCmpLt  // cmplt rd, ra, rb (signed)
+	OpCmpLe  // cmple rd, ra, rb (signed)
+	OpCmpUlt // cmpult rd, ra, rb (unsigned)
+	OpAndNot // andnot rd, ra, rb (ra &^ rb)
+	OpOrNot  // ornot rd, ra, rb (ra | ^rb)
+	OpMulh   // mulh rd, ra, rb (high 64 bits of the unsigned product)
+	OpSextB  // sextb rd, ra (sign-extend low byte)
+	OpSextW  // sextw rd, ra (sign-extend low 32 bits)
+	OpPopcnt // popcnt rd, ra
+	OpClz    // clz rd, ra (count leading zeros; 64 for zero)
+	OpCmovEq // cmoveq rd, ra, rb (rd = rb if ra == 0, else rd unchanged)
+	OpCmovNe // cmovne rd, ra, rb (rd = rb if ra != 0, else rd unchanged)
+
+	// Integer register-immediate (I format): op rd, ra, imm14
+	OpAddi   // addi rd, ra, imm
+	OpAndi   // andi rd, ra, imm
+	OpOri    // ori rd, ra, imm
+	OpXori   // xori rd, ra, imm
+	OpSlli   // slli rd, ra, imm
+	OpSrli   // srli rd, ra, imm
+	OpSrai   // srai rd, ra, imm
+	OpCmpEqi // cmpeqi rd, ra, imm
+	OpCmpLti // cmplti rd, ra, imm
+	OpLdih   // ldih rd, ra, imm (rd = ra + imm<<14)
+
+	// Memory (I format): displacement addressing. Ld/St move 8-byte
+	// quantities; the sized variants move 1/2/4 bytes (loads zero-extend
+	// unless suffixed s, which sign-extends).
+	OpLd   // ld rd, imm(ra)
+	OpSt   // st rd, imm(ra)   (rd is the store source)
+	OpLdbu // ldbu rd, imm(ra)
+	OpLdbs // ldbs rd, imm(ra)
+	OpLdhu // ldhu rd, imm(ra)
+	OpLdhs // ldhs rd, imm(ra)
+	OpLdwu // ldwu rd, imm(ra)
+	OpLdws // ldws rd, imm(ra)
+	OpStb  // stb rd, imm(ra)
+	OpSth  // sth rd, imm(ra)
+	OpStw  // stw rd, imm(ra)
+	OpLdf  // ldf fd, imm(ra)
+	OpStf  // stf fd, imm(ra)  (fd is the store source)
+
+	// Control (B format): compare ra against zero, PC-relative target.
+	OpBeq // beq ra, label
+	OpBne // bne ra, label
+	OpBlt // blt ra, label
+	OpBge // bge ra, label
+	OpBle // ble ra, label
+	OpBgt // bgt ra, label
+	OpBr  // br label (unconditional)
+	OpJmp // jmp rd, (ra): rd = return address, PC = ra
+
+	// Floating point (R format on the FP file).
+	OpFAdd   // fadd fd, fa, fb
+	OpFSub   // fsub fd, fa, fb
+	OpFMul   // fmul fd, fa, fb
+	OpFDiv   // fdiv fd, fa, fb (divide by zero yields 0)
+	OpFSqrt  // fsqrt fd, fa
+	OpFMov   // fmov fd, fa
+	OpFNeg   // fneg fd, fa
+	OpFCmpEq // fcmpeq rd, fa, fb (writes the INT file)
+	OpFCmpLt // fcmplt rd, fa, fb (writes the INT file)
+	OpFCmpLe // fcmple rd, fa, fb (writes the INT file)
+	OpCvtIF  // cvtif fd, ra (int → float)
+	OpCvtFI  // cvtfi rd, fa (float → int, truncating)
+
+	OpHalt // halt
+
+	NumOpcodes // sentinel; not a real opcode
+)
+
+// Class groups opcodes by execution resource and timing behaviour.
+type Class uint8
+
+const (
+	ClassNop    Class = iota
+	ClassIntALU       // 1-cycle integer ops: IXU-eligible
+	ClassIntMul       // pipelined multi-cycle integer multiply
+	ClassIntDiv       // unpipelined integer divide
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional + unconditional direct branches
+	ClassJump   // indirect jumps
+	ClassFP     // FADD/FSUB-like
+	ClassFPMul
+	ClassFPDiv // FDIV and FSQRT
+	ClassHalt
+	NumClasses
+)
+
+// String returns the lower-case mnemonic-style class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassIntALU:
+		return "intalu"
+	case ClassIntMul:
+		return "intmul"
+	case ClassIntDiv:
+		return "intdiv"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassFP:
+		return "fp"
+	case ClassFPMul:
+		return "fpmul"
+	case ClassFPDiv:
+		return "fpdiv"
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// RegFile distinguishes the integer and floating-point register files.
+type RegFile uint8
+
+const (
+	IntFile RegFile = iota
+	FPFile
+)
+
+// Reg names one architectural register.
+type Reg struct {
+	File  RegFile
+	Index uint8
+}
+
+// String renders the register in assembly syntax (r7, f3).
+func (r Reg) String() string {
+	if r.File == FPFile {
+		return fmt.Sprintf("f%d", r.Index)
+	}
+	return fmt.Sprintf("r%d", r.Index)
+}
+
+// IntReg and FPReg are convenience constructors.
+func IntReg(i uint8) Reg { return Reg{IntFile, i} }
+func FPReg(i uint8) Reg  { return Reg{FPFile, i} }
+
+// info is the static metadata for one opcode.
+type info struct {
+	name    string
+	class   Class
+	latency int // execution latency in cycles
+	format  Format
+	// operand roles
+	hasRd, rdFP bool // writes rd; rdFP: the destination is in the FP file
+	hasRa, raFP bool
+	hasRb, rbFP bool
+	rdIsSrc     bool // rd field is a source instead of a dest (stores)
+	rdAlsoSrc   bool // rd is both dest and source (conditional moves)
+}
+
+// Format is the instruction encoding format.
+type Format uint8
+
+const (
+	FormatR Format = iota // op rd, ra, rb
+	FormatI               // op rd, ra, imm14
+	FormatM               // op rd, imm14(ra)
+	FormatB               // op ra, disp19
+	FormatJ               // op rd, (ra)
+	FormatN               // no operands
+)
+
+var infos = [NumOpcodes]info{
+	OpNop:  {name: "nop", class: ClassNop, latency: 1, format: FormatN},
+	OpHalt: {name: "halt", class: ClassHalt, latency: 1, format: FormatN},
+
+	OpAdd:    {name: "add", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpSub:    {name: "sub", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpMul:    {name: "mul", class: ClassIntMul, latency: 3, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpDiv:    {name: "div", class: ClassIntDiv, latency: 12, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpAnd:    {name: "and", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpOr:     {name: "or", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpXor:    {name: "xor", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpSll:    {name: "sll", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpSrl:    {name: "srl", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpSra:    {name: "sra", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpCmpEq:  {name: "cmpeq", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpCmpLt:  {name: "cmplt", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpCmpLe:  {name: "cmple", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpCmpUlt: {name: "cmpult", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpAndNot: {name: "andnot", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpOrNot:  {name: "ornot", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpMulh:   {name: "mulh", class: ClassIntMul, latency: 3, format: FormatR, hasRd: true, hasRa: true, hasRb: true},
+	OpSextB:  {name: "sextb", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true},
+	OpSextW:  {name: "sextw", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true},
+	OpPopcnt: {name: "popcnt", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true},
+	OpClz:    {name: "clz", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true},
+	OpCmovEq: {name: "cmoveq", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true, rdAlsoSrc: true},
+	OpCmovNe: {name: "cmovne", class: ClassIntALU, latency: 1, format: FormatR, hasRd: true, hasRa: true, hasRb: true, rdAlsoSrc: true},
+
+	OpAddi:   {name: "addi", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpAndi:   {name: "andi", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpOri:    {name: "ori", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpXori:   {name: "xori", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpSlli:   {name: "slli", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpSrli:   {name: "srli", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpSrai:   {name: "srai", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpCmpEqi: {name: "cmpeqi", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpCmpLti: {name: "cmplti", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+	OpLdih:   {name: "ldih", class: ClassIntALU, latency: 1, format: FormatI, hasRd: true, hasRa: true},
+
+	OpLd:   {name: "ld", class: ClassLoad, latency: 2, format: FormatM, hasRd: true, hasRa: true},
+	OpSt:   {name: "st", class: ClassStore, latency: 1, format: FormatM, hasRa: true, rdIsSrc: true},
+	OpLdbu: {name: "ldbu", class: ClassLoad, latency: 2, format: FormatM, hasRd: true, hasRa: true},
+	OpLdbs: {name: "ldbs", class: ClassLoad, latency: 2, format: FormatM, hasRd: true, hasRa: true},
+	OpLdhu: {name: "ldhu", class: ClassLoad, latency: 2, format: FormatM, hasRd: true, hasRa: true},
+	OpLdhs: {name: "ldhs", class: ClassLoad, latency: 2, format: FormatM, hasRd: true, hasRa: true},
+	OpLdwu: {name: "ldwu", class: ClassLoad, latency: 2, format: FormatM, hasRd: true, hasRa: true},
+	OpLdws: {name: "ldws", class: ClassLoad, latency: 2, format: FormatM, hasRd: true, hasRa: true},
+	OpStb:  {name: "stb", class: ClassStore, latency: 1, format: FormatM, hasRa: true, rdIsSrc: true},
+	OpSth:  {name: "sth", class: ClassStore, latency: 1, format: FormatM, hasRa: true, rdIsSrc: true},
+	OpStw:  {name: "stw", class: ClassStore, latency: 1, format: FormatM, hasRa: true, rdIsSrc: true},
+	OpLdf:  {name: "ldf", class: ClassLoad, latency: 2, format: FormatM, hasRd: true, rdFP: true, hasRa: true},
+	OpStf:  {name: "stf", class: ClassStore, latency: 1, format: FormatM, hasRa: true, rdIsSrc: true, rdFP: true},
+
+	OpBeq: {name: "beq", class: ClassBranch, latency: 1, format: FormatB, hasRa: true},
+	OpBne: {name: "bne", class: ClassBranch, latency: 1, format: FormatB, hasRa: true},
+	OpBlt: {name: "blt", class: ClassBranch, latency: 1, format: FormatB, hasRa: true},
+	OpBge: {name: "bge", class: ClassBranch, latency: 1, format: FormatB, hasRa: true},
+	OpBle: {name: "ble", class: ClassBranch, latency: 1, format: FormatB, hasRa: true},
+	OpBgt: {name: "bgt", class: ClassBranch, latency: 1, format: FormatB, hasRa: true},
+	OpBr:  {name: "br", class: ClassBranch, latency: 1, format: FormatB},
+	OpJmp: {name: "jmp", class: ClassJump, latency: 1, format: FormatJ, hasRd: true, hasRa: true},
+
+	OpFAdd:   {name: "fadd", class: ClassFP, latency: 4, format: FormatR, hasRd: true, rdFP: true, hasRa: true, raFP: true, hasRb: true, rbFP: true},
+	OpFSub:   {name: "fsub", class: ClassFP, latency: 4, format: FormatR, hasRd: true, rdFP: true, hasRa: true, raFP: true, hasRb: true, rbFP: true},
+	OpFMul:   {name: "fmul", class: ClassFPMul, latency: 4, format: FormatR, hasRd: true, rdFP: true, hasRa: true, raFP: true, hasRb: true, rbFP: true},
+	OpFDiv:   {name: "fdiv", class: ClassFPDiv, latency: 12, format: FormatR, hasRd: true, rdFP: true, hasRa: true, raFP: true, hasRb: true, rbFP: true},
+	OpFSqrt:  {name: "fsqrt", class: ClassFPDiv, latency: 20, format: FormatR, hasRd: true, rdFP: true, hasRa: true, raFP: true},
+	OpFMov:   {name: "fmov", class: ClassFP, latency: 1, format: FormatR, hasRd: true, rdFP: true, hasRa: true, raFP: true},
+	OpFNeg:   {name: "fneg", class: ClassFP, latency: 1, format: FormatR, hasRd: true, rdFP: true, hasRa: true, raFP: true},
+	OpFCmpEq: {name: "fcmpeq", class: ClassFP, latency: 2, format: FormatR, hasRd: true, hasRa: true, raFP: true, hasRb: true, rbFP: true},
+	OpFCmpLt: {name: "fcmplt", class: ClassFP, latency: 2, format: FormatR, hasRd: true, hasRa: true, raFP: true, hasRb: true, rbFP: true},
+	OpFCmpLe: {name: "fcmple", class: ClassFP, latency: 2, format: FormatR, hasRd: true, hasRa: true, raFP: true, hasRb: true, rbFP: true},
+	OpCvtIF:  {name: "cvtif", class: ClassFP, latency: 3, format: FormatR, hasRd: true, rdFP: true, hasRa: true},
+	OpCvtFI:  {name: "cvtfi", class: ClassFP, latency: 3, format: FormatR, hasRd: true, hasRa: true, raFP: true},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < NumOpcodes }
+
+// Name returns the assembly mnemonic.
+func (op Opcode) Name() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return infos[op].name
+}
+
+// Class returns the execution class of the opcode.
+func (op Opcode) Class() Class {
+	if !op.Valid() {
+		return ClassNop
+	}
+	return infos[op].class
+}
+
+// Latency returns the execution latency in cycles (cache-hit latency for
+// loads; the timing models add miss penalties on top).
+func (op Opcode) Latency() int {
+	if !op.Valid() {
+		return 1
+	}
+	return infos[op].latency
+}
+
+// Format returns the encoding format of the opcode.
+func (op Opcode) Format() Format {
+	if !op.Valid() {
+		return FormatN
+	}
+	return infos[op].format
+}
+
+// OpcodeByName resolves a mnemonic to its opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opcodeByName[name]
+	return op, ok
+}
+
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		m[infos[op].name] = op
+	}
+	return m
+}()
+
+// Inst is one decoded instruction. Rd/Ra/Rb index the register file implied
+// by the opcode (FP register fields index the FP file). Imm holds the
+// sign-extended immediate for I/M formats and the word displacement for
+// B format.
+type Inst struct {
+	Op  Opcode
+	Rd  uint8
+	Ra  uint8
+	Rb  uint8
+	Imm int32
+}
+
+// Dst returns the destination register, if the instruction writes one.
+// Writes to the integer zero register are reported as no destination.
+func (in Inst) Dst() (Reg, bool) {
+	inf := &infos[in.Op]
+	if !inf.hasRd || inf.rdIsSrc {
+		return Reg{}, false
+	}
+	if inf.rdFP {
+		return FPReg(in.Rd), true
+	}
+	if in.Rd == ZeroReg {
+		return Reg{}, false
+	}
+	return IntReg(in.Rd), true
+}
+
+// Srcs appends the source registers of the instruction to dst and returns
+// it. Reads of the integer zero register are omitted (always available).
+func (in Inst) Srcs(dst []Reg) []Reg {
+	inf := &infos[in.Op]
+	if inf.hasRa {
+		if inf.raFP {
+			dst = append(dst, FPReg(in.Ra))
+		} else if in.Ra != ZeroReg {
+			dst = append(dst, IntReg(in.Ra))
+		}
+	}
+	if inf.hasRb {
+		if inf.rbFP {
+			dst = append(dst, FPReg(in.Rb))
+		} else if in.Rb != ZeroReg {
+			dst = append(dst, IntReg(in.Rb))
+		}
+	}
+	if inf.rdIsSrc || inf.rdAlsoSrc {
+		if inf.rdFP {
+			dst = append(dst, FPReg(in.Rd))
+		} else if in.Rd != ZeroReg {
+			dst = append(dst, IntReg(in.Rd))
+		}
+	}
+	return dst
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Inst) IsMem() bool {
+	c := in.Op.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsBranch reports whether the instruction can redirect control flow.
+func (in Inst) IsBranch() bool {
+	c := in.Op.Class()
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsCondBranch() bool {
+	return in.Op.Class() == ClassBranch && in.Op != OpBr
+}
+
+// IsFP reports whether the instruction executes on the FP datapath.
+func (in Inst) IsFP() bool {
+	c := in.Op.Class()
+	return c == ClassFP || c == ClassFPMul || c == ClassFPDiv
+}
+
+// IXUEligible reports whether the instruction class may execute in the
+// in-order execution unit: 1-cycle integer ALU operations and branches
+// always; loads and stores subject to run-time resource arbitration
+// (decided by the timing model); never MUL/DIV/FP (Section II-D of the
+// paper: the IXU has no FP units, and multi-cycle integer operations would
+// prolong the IXU pipeline).
+func (in Inst) IXUEligible() bool {
+	switch in.Op.Class() {
+	case ClassIntALU, ClassBranch, ClassJump, ClassNop:
+		return true
+	case ClassLoad, ClassStore:
+		return true // subject to arbitration in the timing model
+	default:
+		return false
+	}
+}

@@ -1,0 +1,235 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeMetadataComplete(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if infos[op].name == "" {
+			t.Errorf("opcode %d has no metadata", op)
+		}
+		if infos[op].latency <= 0 {
+			t.Errorf("opcode %s has non-positive latency", op.Name())
+		}
+	}
+}
+
+func TestOpcodeByNameRoundTrip(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		got, ok := OpcodeByName(op.Name())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v", op.Name(), got, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("OpcodeByName accepted an unknown mnemonic")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want Class
+	}{
+		{OpAdd, ClassIntALU},
+		{OpMul, ClassIntMul},
+		{OpDiv, ClassIntDiv},
+		{OpLd, ClassLoad},
+		{OpStf, ClassStore},
+		{OpBeq, ClassBranch},
+		{OpBr, ClassBranch},
+		{OpJmp, ClassJump},
+		{OpFAdd, ClassFP},
+		{OpFMul, ClassFPMul},
+		{OpFSqrt, ClassFPDiv},
+		{OpHalt, ClassHalt},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%s.Class() = %v, want %v", c.op.Name(), got, c.want)
+		}
+	}
+}
+
+func TestDstAndSrcs(t *testing.T) {
+	cases := []struct {
+		in      Inst
+		wantDst string // "" for none
+		wantSrc []string
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}, "r1", []string{"r2", "r3"}},
+		{Inst{Op: OpAdd, Rd: ZeroReg, Ra: 2, Rb: 3}, "", []string{"r2", "r3"}},
+		{Inst{Op: OpAddi, Rd: 4, Ra: ZeroReg, Imm: 7}, "r4", nil},
+		{Inst{Op: OpLd, Rd: 5, Ra: 6, Imm: 16}, "r5", []string{"r6"}},
+		{Inst{Op: OpSt, Rd: 5, Ra: 6, Imm: 16}, "", []string{"r6", "r5"}},
+		{Inst{Op: OpStf, Rd: 5, Ra: 6}, "", []string{"r6", "f5"}},
+		{Inst{Op: OpLdf, Rd: 31, Ra: 6}, "f31", []string{"r6"}},
+		{Inst{Op: OpBeq, Ra: 9, Imm: -4}, "", []string{"r9"}},
+		{Inst{Op: OpBr, Imm: 8}, "", nil},
+		{Inst{Op: OpJmp, Rd: 1, Ra: 2}, "r1", []string{"r2"}},
+		{Inst{Op: OpFAdd, Rd: 1, Ra: 2, Rb: 3}, "f1", []string{"f2", "f3"}},
+		{Inst{Op: OpFCmpLt, Rd: 1, Ra: 2, Rb: 3}, "r1", []string{"f2", "f3"}},
+		{Inst{Op: OpCvtIF, Rd: 1, Ra: 2}, "f1", []string{"r2"}},
+		{Inst{Op: OpCvtFI, Rd: 1, Ra: 2}, "r1", []string{"f2"}},
+		{Inst{Op: OpNop}, "", nil},
+		{Inst{Op: OpHalt}, "", nil},
+	}
+	for _, c := range cases {
+		dst, ok := c.in.Dst()
+		if c.wantDst == "" {
+			if ok {
+				t.Errorf("%v: unexpected dst %v", c.in, dst)
+			}
+		} else if !ok || dst.String() != c.wantDst {
+			t.Errorf("%v: dst = %v, %v; want %s", c.in, dst, ok, c.wantDst)
+		}
+		var got []string
+		for _, s := range c.in.Srcs(nil) {
+			got = append(got, s.String())
+		}
+		if len(got) != len(c.wantSrc) {
+			t.Errorf("%v: srcs = %v, want %v", c.in, got, c.wantSrc)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.wantSrc[i] {
+				t.Errorf("%v: srcs = %v, want %v", c.in, got, c.wantSrc)
+				break
+			}
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !(Inst{Op: OpLd}).IsMem() || !(Inst{Op: OpSt}).IsMem() {
+		t.Error("loads/stores must report IsMem")
+	}
+	if (Inst{Op: OpAdd}).IsMem() {
+		t.Error("add is not a memory op")
+	}
+	if !(Inst{Op: OpBeq}).IsBranch() || !(Inst{Op: OpJmp}).IsBranch() {
+		t.Error("beq/jmp must report IsBranch")
+	}
+	if !(Inst{Op: OpBeq}).IsCondBranch() || (Inst{Op: OpBr}).IsCondBranch() {
+		t.Error("beq conditional, br unconditional")
+	}
+	if !(Inst{Op: OpFAdd}).IsFP() || (Inst{Op: OpAdd}).IsFP() {
+		t.Error("IsFP misclassifies")
+	}
+	if !(Inst{Op: OpAdd}).IXUEligible() || !(Inst{Op: OpBeq}).IXUEligible() || !(Inst{Op: OpLd}).IXUEligible() {
+		t.Error("add/beq/ld must be IXU-eligible")
+	}
+	for _, op := range []Opcode{OpMul, OpDiv, OpFAdd, OpFDiv} {
+		if (Inst{Op: op}).IXUEligible() {
+			t.Errorf("%s must not be IXU-eligible", op.Name())
+		}
+	}
+}
+
+// randInst builds a random, encodable instruction.
+func randInst(r *rand.Rand) Inst {
+	op := Opcode(r.Intn(int(NumOpcodes)))
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.Rd, in.Ra, in.Rb = uint8(r.Intn(32)), uint8(r.Intn(32)), uint8(r.Intn(32))
+	case FormatI, FormatM:
+		in.Rd, in.Ra = uint8(r.Intn(32)), uint8(r.Intn(32))
+		in.Imm = int32(r.Intn(MaxImm-MinImm+1)) + MinImm
+	case FormatB:
+		in.Ra = uint8(r.Intn(32))
+		in.Imm = int32(r.Intn(MaxDisp-MinDisp+1)) + MinDisp
+	case FormatJ:
+		in.Rd, in.Ra = uint8(r.Intn(32)), uint8(r.Intn(32))
+	}
+	return in
+}
+
+// Property: Encode followed by Decode is the identity on well-formed
+// instructions.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#08x: %v", w, err)
+			return false
+		}
+		// Unused fields decode as zero; normalize before comparing.
+		want := in
+		switch in.Op.Format() {
+		case FormatB:
+			want.Rd, want.Rb = 0, 0
+		case FormatI, FormatM:
+			want.Rb = 0
+		case FormatJ:
+			want.Rb, want.Imm = 0, 0
+		case FormatN:
+			want = Inst{Op: in.Op}
+		}
+		if out != want {
+			t.Logf("round-trip %v -> %#08x -> %v", want, w, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	if _, err := Encode(Inst{Op: OpAddi, Imm: MaxImm + 1}); err == nil {
+		t.Error("expected error for oversized immediate")
+	}
+	if _, err := Encode(Inst{Op: OpBeq, Imm: MinDisp - 1}); err == nil {
+		t.Error("expected error for oversized displacement")
+	}
+	if _, err := Encode(Inst{Op: NumOpcodes}); err == nil {
+		t.Error("expected error for invalid opcode")
+	}
+	if _, err := Decode(uint32(NumOpcodes) << 24); err == nil {
+		t.Error("expected error for undefined opcode byte")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Rd: 1, Ra: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Inst{Op: OpLd, Rd: 1, Ra: 2, Imm: 8}, "ld r1, 8(r2)"},
+		{Inst{Op: OpStf, Rd: 1, Ra: 2, Imm: 8}, "stf f1, 8(r2)"},
+		{Inst{Op: OpBeq, Ra: 3, Imm: -2}, "beq r3, -2"},
+		{Inst{Op: OpBr, Imm: 4}, "br 4"},
+		{Inst{Op: OpJmp, Rd: 31, Ra: 7}, "jmp r31, (r7)"},
+		{Inst{Op: OpFSqrt, Rd: 1, Ra: 2}, "fsqrt f1, f2"},
+		{Inst{Op: OpNop}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if IntReg(7).String() != "r7" || FPReg(3).String() != "f3" {
+		t.Error("register naming broken")
+	}
+	if !strings.HasPrefix(Class(200).String(), "class(") {
+		t.Error("unknown class should print numerically")
+	}
+}

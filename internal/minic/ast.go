@@ -1,0 +1,153 @@
+package minic
+
+// Types of FXK values.
+type valType int
+
+const (
+	typInt valType = iota
+	typFloat
+)
+
+func (t valType) String() string {
+	if t == typFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// decl is a global variable or array declaration.
+type decl struct {
+	name    string
+	typ     valType
+	isArr   bool
+	arrLen  int64
+	init    float64 // initial value (scalars only)
+	iinit   int64
+	hasInit bool
+	line    int
+}
+
+// Expressions.
+type expr interface{ exprNode() }
+
+type numLit struct {
+	ival int64
+	fval float64
+	typ  valType
+}
+
+type varRef struct {
+	name string
+	line int
+}
+
+type indexRef struct {
+	name  string
+	index expr
+	line  int
+}
+
+type binop struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type unop struct {
+	op   string // "-" or "!"
+	e    expr
+	line int
+}
+
+type castExpr struct {
+	to   valType
+	e    expr
+	line int
+}
+
+// callExpr is a function call. FXK functions are integer-valued and
+// non-recursive; calls may appear only as the entire right-hand side of an
+// assignment (the calling convention clobbers the expression scratch).
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (numLit) exprNode()   {}
+func (callExpr) exprNode() {}
+func (varRef) exprNode()   {}
+func (indexRef) exprNode() {}
+func (binop) exprNode()    {}
+func (unop) exprNode()     {}
+func (castExpr) exprNode() {}
+
+// Statements.
+type stmt interface{ stmtNode() }
+
+type assign struct {
+	target string
+	index  expr // nil for scalars
+	value  expr
+	line   int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els []stmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type forStmt struct {
+	ivar     string
+	from, to expr
+	body     []stmt
+	line     int
+}
+
+// breakStmt and continueStmt control the innermost enclosing loop.
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+func (breakStmt) stmtNode()    {}
+func (continueStmt) stmtNode() {}
+
+// returnStmt returns an integer value from a function.
+type returnStmt struct {
+	value expr
+	line  int
+}
+
+func (returnStmt) stmtNode() {}
+
+// funcDecl is a top-level function definition.
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+// declStmt is a declaration appearing in statement position (inside a
+// block). Storage is allocated once at compile time (FXK has a single flat
+// scope); the initializer, if any, executes each time control reaches it.
+type declStmt struct{ d decl }
+
+func (declStmt) stmtNode()  {}
+func (assign) stmtNode()    {}
+func (ifStmt) stmtNode()    {}
+func (whileStmt) stmtNode() {}
+func (forStmt) stmtNode()   {}
+
+// program is a parsed FXK compilation unit.
+type program struct {
+	decls []decl
+	funcs []funcDecl
+	body  []stmt
+}

@@ -1,0 +1,898 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fxa/internal/asm"
+)
+
+// Register conventions of generated code:
+//
+//	r1..r7    integer expression scratch (stack discipline)
+//	f1..f7    float expression scratch
+//	r8..r25   integer scalar variables (including loop counters)
+//	f8..f24   float scalar variables
+//	r26, r30  address temporaries
+//
+// Arrays live in a data region starting at arrayBase; float literals in a
+// constant pool after the code.
+const (
+	intScratchBase = 1
+	fpScratchBase  = 1
+	maxScratch     = 7
+	intVarBase     = 8
+	intVarMax      = 25
+	fpVarBase      = 8
+	fpVarMax       = 24
+	arrayBase      = 0x100000
+	constPoolOrg   = 0x80000
+)
+
+type codegen struct {
+	b       strings.Builder
+	intVars map[string]int
+	fpVars  map[string]int
+	arrays  map[string]decl
+	flits   []float64
+	nextInt int
+	nextFP  int
+	label   int
+	intDep  int
+	fpDep   int
+	err     error
+
+	// loops holds the enclosing loop contexts for break/continue.
+	loops []loopCtx
+
+	// Functions (FXK functions are integer-valued and non-recursive;
+	// every function gets dedicated parameter and link registers from
+	// the shared scalar pool, and locals are name-scoped per function).
+	funcs map[string]*fnInfo
+	scope string // current function name during body emission, "" at top level
+}
+
+// loopCtx names the jump targets of one enclosing loop.
+type loopCtx struct {
+	continueLabel string // jumps to the increment/condition
+	breakLabel    string // jumps past the loop
+}
+
+// fnInfo carries a function's calling-convention allocation.
+type fnInfo struct {
+	decl   funcDecl
+	params []int // parameter registers
+	link   int   // return-address register
+}
+
+// scoped returns the scope-qualified variable key.
+func (g *codegen) scoped(name string) string {
+	if g.scope == "" {
+		return name
+	}
+	return g.scope + "::" + name
+}
+
+// lookupInt resolves an integer scalar: function scope first, then global.
+func (g *codegen) lookupInt(name string) (int, bool) {
+	if g.scope != "" {
+		if r, ok := g.intVars[g.scope+"::"+name]; ok {
+			return r, true
+		}
+	}
+	r, ok := g.intVars[name]
+	return r, ok
+}
+
+// lookupArray resolves an array with the same scoping.
+func (g *codegen) lookupArray(name string) (decl, bool) {
+	if g.scope != "" {
+		if d, ok := g.arrays[g.scope+"::"+name]; ok {
+			return d, true
+		}
+	}
+	d, ok := g.arrays[name]
+	return d, ok
+}
+
+// lookupFP resolves a float scalar with the same scoping.
+func (g *codegen) lookupFP(name string) (int, bool) {
+	if g.scope != "" {
+		if r, ok := g.fpVars[g.scope+"::"+name]; ok {
+			return r, true
+		}
+	}
+	r, ok := g.fpVars[name]
+	return r, ok
+}
+
+// Compile translates FXK source into a loadable program.
+func Compile(src string) (*asm.Program, error) {
+	text, err := CompileToAsm(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(text)
+	if err != nil {
+		return nil, fmt.Errorf("minic: internal error: generated assembly does not assemble: %w", err)
+	}
+	return prog, nil
+}
+
+// CompileToAsm translates FXK source into assembly text.
+func CompileToAsm(src string) (string, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return "", err
+	}
+	g := &codegen{
+		intVars: map[string]int{},
+		fpVars:  map[string]int{},
+		arrays:  map[string]decl{},
+		funcs:   map[string]*fnInfo{},
+		nextInt: intVarBase,
+		nextFP:  fpVarBase,
+	}
+	return g.gen(prog)
+}
+
+func (g *codegen) errorf(line int, format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+}
+
+func (g *codegen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+}
+
+func (g *codegen) newLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s%d", prefix, g.label)
+}
+
+func (g *codegen) gen(p *program) (string, error) {
+	g.b.WriteString("\t.org 0x1000\nstart:\n")
+	// Declarations.
+	for _, d := range p.decls {
+		g.declare(d)
+	}
+	if g.err != nil {
+		return "", g.err
+	}
+	// Scalar initialization.
+	for _, d := range p.decls {
+		g.initScalar(d)
+	}
+	// Allocate function calling conventions before any body is emitted.
+	for i := range p.funcs {
+		g.declareFunc(&p.funcs[i])
+	}
+	g.checkRecursion(p.funcs)
+	for _, s := range p.body {
+		g.stmt(s)
+	}
+	g.emit("halt")
+	for _, f := range p.funcs {
+		g.emitFunc(f)
+	}
+	// Constant pool.
+	if len(g.flits) > 0 {
+		fmt.Fprintf(&g.b, "\t.org %#x\n", constPoolOrg)
+		for i, f := range g.flits {
+			fmt.Fprintf(&g.b, "flit%d:\t.double %v\n", i, f)
+		}
+	}
+	// Arrays (including those declared inside function bodies), in a
+	// deterministic order.
+	names := make([]string, 0, len(g.arrays))
+	for n := range g.arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	addr := uint64(arrayBase)
+	for _, n := range names {
+		d := g.arrays[n]
+		fmt.Fprintf(&g.b, "\t.org %#x\narr_%s:\t.space %d\n", addr, arrLabel(d.name), d.arrLen*8)
+		addr += uint64(d.arrLen * 8)
+		addr = (addr + 63) &^ 63
+	}
+	if g.err != nil {
+		return "", g.err
+	}
+	return g.b.String(), nil
+}
+
+// initScalar emits the initialization of a declared scalar (declared
+// scalars always initialize, to zero if no value was given, matching the
+// zero-filled data segment a C global would get).
+func (g *codegen) initScalar(d decl) {
+	if d.isArr {
+		return
+	}
+	if d.typ == typInt {
+		if d.iinit < -(1<<27) || d.iinit >= 1<<27 {
+			g.errorf(d.line, "initializer %d out of the 28-bit li range", d.iinit)
+			return
+		}
+		g.emit("li r%d, %d", g.intVars[d.name], d.iinit)
+	} else if d.hasInit {
+		g.loadFloatLit(d.init, g.fpVars[d.name])
+	} else {
+		g.loadFloatLit(0, g.fpVars[d.name])
+	}
+}
+
+// initScalarScoped initializes a scalar declared in the current scope.
+func (g *codegen) initScalarScoped(d decl) {
+	key := g.scoped(d.name)
+	if d.typ == typInt {
+		if d.iinit < -(1<<27) || d.iinit >= 1<<27 {
+			g.errorf(d.line, "initializer %d out of the 28-bit li range", d.iinit)
+			return
+		}
+		g.emit("li r%d, %d", g.intVars[key], d.iinit)
+	} else {
+		g.loadFloatLit(d.init, g.fpVars[key])
+	}
+}
+
+func (g *codegen) declare(d decl) {
+	key := g.scoped(d.name)
+	if _, dup := g.intVars[key]; dup {
+		g.errorf(d.line, "%s redeclared", d.name)
+		return
+	}
+	if _, dup := g.fpVars[key]; dup {
+		g.errorf(d.line, "%s redeclared", d.name)
+		return
+	}
+	if _, dup := g.arrays[key]; dup {
+		g.errorf(d.line, "%s redeclared", d.name)
+		return
+	}
+	if d.isArr {
+		d.name = key
+		g.arrays[key] = d
+		return
+	}
+	if d.typ == typInt {
+		if g.nextInt > intVarMax {
+			g.errorf(d.line, "too many integer scalars (max %d)", intVarMax-intVarBase+1)
+			return
+		}
+		g.intVars[key] = g.nextInt
+		g.nextInt++
+	} else {
+		if g.nextFP > fpVarMax {
+			g.errorf(d.line, "too many float scalars (max %d)", fpVarMax-fpVarBase+1)
+			return
+		}
+		g.fpVars[key] = g.nextFP
+		g.nextFP++
+	}
+}
+
+// declareFunc allocates parameter and link registers for f.
+func (g *codegen) declareFunc(f *funcDecl) {
+	if _, dup := g.funcs[f.name]; dup {
+		g.errorf(f.line, "function %s redeclared", f.name)
+		return
+	}
+	info := &fnInfo{decl: *f}
+	for _, p := range f.params {
+		if g.nextInt > intVarMax {
+			g.errorf(f.line, "too many integer scalars (function parameters)")
+			return
+		}
+		g.intVars[f.name+"::"+p] = g.nextInt
+		info.params = append(info.params, g.nextInt)
+		g.nextInt++
+	}
+	if g.nextInt > intVarMax {
+		g.errorf(f.line, "too many integer scalars (function link register)")
+		return
+	}
+	info.link = g.nextInt
+	g.nextInt++
+	g.funcs[f.name] = info
+}
+
+// emitFunc generates a function body. Convention: arguments arrive in the
+// parameter registers, the return address in the link register, and the
+// result leaves in r30.
+func (g *codegen) emitFunc(f funcDecl) {
+	info := g.funcs[f.name]
+	if info == nil {
+		return
+	}
+	fmt.Fprintf(&g.b, "fn_%s:"+"\n", f.name)
+	prev := g.scope
+	g.scope = f.name
+	g.stmts(f.body)
+	g.scope = prev
+	// Fall-through return: result 0.
+	g.emit("clr r30")
+	fmt.Fprintf(&g.b, "ret_%s:"+"\n", f.name)
+	g.emit("jmp r31, (r%d)", info.link)
+}
+
+// collectCalls walks statements recording called function names.
+func collectCalls(list []stmt, out map[string]bool) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case assign:
+			if c, ok := s.value.(callExpr); ok {
+				out[c.name] = true
+			}
+		case ifStmt:
+			collectCalls(s.then, out)
+			collectCalls(s.els, out)
+		case whileStmt:
+			collectCalls(s.body, out)
+		case forStmt:
+			collectCalls(s.body, out)
+		}
+	}
+}
+
+// checkRecursion rejects call-graph cycles: FXK's static calling
+// convention (one link register per function) cannot support recursion.
+func (g *codegen) checkRecursion(funcs []funcDecl) {
+	graph := map[string]map[string]bool{}
+	for _, f := range funcs {
+		calls := map[string]bool{}
+		collectCalls(f.body, calls)
+		graph[f.name] = calls
+	}
+	var visit func(name string, stack map[string]bool) bool
+	visit = func(name string, stack map[string]bool) bool {
+		if stack[name] {
+			return true
+		}
+		stack[name] = true
+		for callee := range graph[name] {
+			if visit(callee, stack) {
+				return true
+			}
+		}
+		delete(stack, name)
+		return false
+	}
+	for _, f := range funcs {
+		if visit(f.name, map[string]bool{}) {
+			g.errorf(f.line, "recursive call cycle involving %s (FXK functions are non-recursive)", f.name)
+			return
+		}
+	}
+}
+
+// implicitInt declares an integer scalar on first use (loop counters).
+// Inside a function, implicit scalars are scoped to it.
+func (g *codegen) implicitInt(name string, line int) int {
+	if r, ok := g.lookupInt(name); ok {
+		return r
+	}
+	if _, isFP := g.lookupFP(name); isFP {
+		g.errorf(line, "%s is a float scalar, not usable here", name)
+		return intVarBase
+	}
+	if g.nextInt > intVarMax {
+		g.errorf(line, "too many integer scalars")
+		return intVarBase
+	}
+	key := g.scoped(name)
+	g.intVars[key] = g.nextInt
+	g.nextInt++
+	g.emit("clr r%d", g.intVars[key])
+	return g.intVars[key]
+}
+
+func (g *codegen) loadFloatLit(v float64, freg int) {
+	idx := -1
+	for i, f := range g.flits {
+		if f == v {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = len(g.flits)
+		g.flits = append(g.flits, v)
+	}
+	g.emit("lda r30, flit%d", idx)
+	g.emit("ldf f%d, 0(r30)", freg)
+}
+
+// ---- typing ----
+
+func (g *codegen) typeOf(e expr) valType {
+	switch e := e.(type) {
+	case numLit:
+		return e.typ
+	case varRef:
+		if _, ok := g.lookupFP(e.name); ok {
+			return typFloat
+		}
+		return typInt
+	case indexRef:
+		if d, ok := g.lookupArray(e.name); ok {
+			return d.typ
+		}
+		return typInt
+	case callExpr:
+		return typInt
+	case castExpr:
+		return e.to
+	case unop:
+		if e.op == "!" {
+			return typInt
+		}
+		return g.typeOf(e.e)
+	case binop:
+		switch e.op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return typInt // comparisons and logic are integer-valued
+		}
+		return g.typeOf(e.l)
+	}
+	return typInt
+}
+
+// ---- integer expression evaluation ----
+
+// pushInt allocates the next integer scratch register.
+func (g *codegen) pushInt(line int) int {
+	if g.intDep >= maxScratch {
+		g.errorf(line, "integer expression too deep (max %d temporaries)", maxScratch)
+		return intScratchBase
+	}
+	r := intScratchBase + g.intDep
+	g.intDep++
+	return r
+}
+
+func (g *codegen) popInt() { g.intDep-- }
+
+func (g *codegen) pushFP(line int) int {
+	if g.fpDep >= maxScratch {
+		g.errorf(line, "float expression too deep (max %d temporaries)", maxScratch)
+		return fpScratchBase
+	}
+	r := fpScratchBase + g.fpDep
+	g.fpDep++
+	return r
+}
+
+func (g *codegen) popFP() { g.fpDep-- }
+
+// evalInt evaluates an integer-typed expression into a fresh scratch
+// register and returns it. The caller must popInt when done.
+func (g *codegen) evalInt(e expr) int {
+	switch e := e.(type) {
+	case numLit:
+		r := g.pushInt(0)
+		if e.typ != typInt {
+			g.errorf(0, "float literal in integer context (use int(...))")
+			return r
+		}
+		if e.ival < -(1<<27) || e.ival >= 1<<27 {
+			g.errorf(0, "integer literal %d out of the 28-bit li range", e.ival)
+		}
+		g.emit("li r%d, %d", r, e.ival)
+		return r
+	case varRef:
+		if _, isFP := g.lookupFP(e.name); isFP {
+			g.errorf(e.line, "%s is float; cast with int(%s)", e.name, e.name)
+			return g.pushInt(e.line)
+		}
+		if _, isArr := g.lookupArray(e.name); isArr {
+			g.errorf(e.line, "%s is an array; index it", e.name)
+			return g.pushInt(e.line)
+		}
+		src, ok := g.lookupInt(e.name)
+		if !ok {
+			g.errorf(e.line, "undefined variable %s", e.name)
+			return g.pushInt(e.line)
+		}
+		r := g.pushInt(e.line)
+		g.emit("mov r%d, r%d", r, src)
+		return r
+	case callExpr:
+		g.errorf(e.line, "a call may only be the entire right-hand side of an assignment")
+		return g.pushInt(e.line)
+	case indexRef:
+		r := g.pushInt(e.line)
+		g.arrayAddr(e)
+		if d, ok := g.lookupArray(e.name); ok && d.typ != typInt {
+			g.errorf(e.line, "%s is a float array; cast with int(...)", e.name)
+			return r
+		}
+		g.emit("ld r%d, 0(r26)", r)
+		return r
+	case castExpr:
+		if e.to != typInt {
+			g.errorf(e.line, "float(...) in integer context")
+			return g.pushInt(e.line)
+		}
+		if g.typeOf(e.e) == typInt { // no-op cast
+			return g.evalInt(e.e)
+		}
+		f := g.evalFloat(e.e)
+		g.popFP()
+		r := g.pushInt(e.line)
+		g.emit("cvtfi r%d, f%d", r, f)
+		return r
+	case unop:
+		switch e.op {
+		case "-":
+			r := g.evalInt(e.e)
+			g.emit("neg r%d, r%d", r, r)
+			return r
+		case "!":
+			r := g.evalInt(e.e)
+			g.emit("cmpeq r%d, r%d, r31", r, r)
+			return r
+		}
+		g.errorf(e.line, "unknown unary operator %q", e.op)
+		return g.pushInt(e.line)
+	case binop:
+		return g.evalBinop(e)
+	}
+	g.errorf(0, "unsupported integer expression")
+	return g.pushInt(0)
+}
+
+func (g *codegen) evalBinop(e binop) int {
+	// Float comparisons produce integers.
+	lt, rt := g.typeOf(e.l), g.typeOf(e.r)
+	if lt == typFloat || rt == typFloat {
+		if lt != rt {
+			g.errorf(e.line, "mixed int/float operands; cast explicitly")
+			return g.pushInt(e.line)
+		}
+		fl := g.evalFloat(e.l)
+		fr := g.evalFloat(e.r)
+		g.popFP()
+		g.popFP()
+		r := g.pushInt(e.line)
+		switch e.op {
+		case "==":
+			g.emit("fcmpeq r%d, f%d, f%d", r, fl, fr)
+		case "!=":
+			g.emit("fcmpeq r%d, f%d, f%d", r, fl, fr)
+			g.emit("cmpeq r%d, r%d, r31", r, r)
+		case "<":
+			g.emit("fcmplt r%d, f%d, f%d", r, fl, fr)
+		case "<=":
+			g.emit("fcmple r%d, f%d, f%d", r, fl, fr)
+		case ">":
+			g.emit("fcmplt r%d, f%d, f%d", r, fr, fl)
+		case ">=":
+			g.emit("fcmple r%d, f%d, f%d", r, fr, fl)
+		default:
+			g.errorf(e.line, "operator %q is not integer-valued on floats", e.op)
+		}
+		return r
+	}
+
+	l := g.evalInt(e.l)
+	r := g.evalInt(e.r)
+	g.popInt() // result reuses l's slot
+	switch e.op {
+	case "+":
+		g.emit("add r%d, r%d, r%d", l, l, r)
+	case "-":
+		g.emit("sub r%d, r%d, r%d", l, l, r)
+	case "*":
+		g.emit("mul r%d, r%d, r%d", l, l, r)
+	case "/":
+		g.emit("div r%d, r%d, r%d", l, l, r)
+	case "%":
+		// l - (l/r)*r, using the consumed r slot as scratch.
+		g.emit("div r30, r%d, r%d", l, r)
+		g.emit("mul r30, r30, r%d", r)
+		g.emit("sub r%d, r%d, r30", l, l)
+	case "&":
+		g.emit("and r%d, r%d, r%d", l, l, r)
+	case "|":
+		g.emit("or r%d, r%d, r%d", l, l, r)
+	case "^":
+		g.emit("xor r%d, r%d, r%d", l, l, r)
+	case "<<":
+		g.emit("sll r%d, r%d, r%d", l, l, r)
+	case ">>":
+		g.emit("srl r%d, r%d, r%d", l, l, r)
+	case "==":
+		g.emit("cmpeq r%d, r%d, r%d", l, l, r)
+	case "!=":
+		g.emit("cmpeq r%d, r%d, r%d", l, l, r)
+		g.emit("cmpeq r%d, r%d, r31", l, l)
+	case "<":
+		g.emit("cmplt r%d, r%d, r%d", l, l, r)
+	case "<=":
+		g.emit("cmple r%d, r%d, r%d", l, l, r)
+	case ">":
+		g.emit("cmplt r%d, r%d, r%d", l, r, l)
+	case ">=":
+		g.emit("cmple r%d, r%d, r%d", l, r, l)
+	case "&&":
+		g.boolify(l)
+		g.boolify(r)
+		g.emit("and r%d, r%d, r%d", l, l, r)
+	case "||":
+		g.emit("or r%d, r%d, r%d", l, l, r)
+		g.boolify(l)
+	default:
+		g.errorf(e.line, "unknown operator %q", e.op)
+	}
+	return l
+}
+
+// emitCall generates the call sequence for "target = fn(args...)":
+// arguments are evaluated one at a time into the callee's parameter
+// registers, the link register receives the return address, and the
+// result comes back in r30.
+func (g *codegen) emitCall(s assign, c callExpr) {
+	info, ok := g.funcs[c.name]
+	if !ok {
+		g.errorf(c.line, "undefined function %s", c.name)
+		return
+	}
+	if g.scope == c.name {
+		g.errorf(c.line, "recursive call to %s", c.name)
+		return
+	}
+	if len(c.args) != len(info.params) {
+		g.errorf(c.line, "%s takes %d arguments, got %d", c.name, len(info.params), len(c.args))
+		return
+	}
+	if g.intDep != 0 {
+		g.errorf(c.line, "internal: call with non-empty expression stack")
+		return
+	}
+	for i, a := range c.args {
+		if g.typeOf(a) != typInt {
+			g.errorf(c.line, "argument %d of %s must be an integer", i+1, c.name)
+			return
+		}
+		v := g.evalInt(a)
+		g.popInt()
+		g.emit("mov r%d, r%d", info.params[i], v)
+	}
+	g.emit("lda r26, fn_%s", c.name)
+	g.emit("jmp r%d, (r26)", info.link)
+	target := g.implicitInt(s.target, s.line)
+	g.emit("mov r%d, r30", target)
+}
+
+// boolify normalizes a register to 0/1.
+func (g *codegen) boolify(r int) {
+	g.emit("cmpeq r%d, r%d, r31", r, r)
+	g.emit("cmpeq r%d, r%d, r31", r, r)
+}
+
+// ---- float expression evaluation ----
+
+func (g *codegen) evalFloat(e expr) int {
+	switch e := e.(type) {
+	case numLit:
+		f := g.pushFP(0)
+		v := e.fval
+		if e.typ == typInt {
+			v = float64(e.ival)
+		}
+		g.loadFloatLit(v, f)
+		return f
+	case varRef:
+		src, ok := g.lookupFP(e.name)
+		if !ok {
+			g.errorf(e.line, "%s is not a float scalar; cast with float(...)", e.name)
+			return g.pushFP(e.line)
+		}
+		f := g.pushFP(e.line)
+		g.emit("fmov f%d, f%d", f, src)
+		return f
+	case indexRef:
+		f := g.pushFP(e.line)
+		g.arrayAddr(e)
+		if d, ok := g.lookupArray(e.name); ok && d.typ != typFloat {
+			g.errorf(e.line, "%s is an integer array; cast with float(...)", e.name)
+			return f
+		}
+		g.emit("ldf f%d, 0(r26)", f)
+		return f
+	case castExpr:
+		if e.to != typFloat {
+			g.errorf(e.line, "int(...) in float context")
+			return g.pushFP(e.line)
+		}
+		if g.typeOf(e.e) == typFloat {
+			return g.evalFloat(e.e)
+		}
+		r := g.evalInt(e.e)
+		g.popInt()
+		f := g.pushFP(e.line)
+		g.emit("cvtif f%d, r%d", f, r)
+		return f
+	case unop:
+		if e.op == "-" {
+			f := g.evalFloat(e.e)
+			g.emit("fneg f%d, f%d", f, f)
+			return f
+		}
+		g.errorf(e.line, "operator %q is not defined on floats", e.op)
+		return g.pushFP(e.line)
+	case binop:
+		fl := g.evalFloat(e.l)
+		fr := g.evalFloat(e.r)
+		g.popFP()
+		switch e.op {
+		case "+":
+			g.emit("fadd f%d, f%d, f%d", fl, fl, fr)
+		case "-":
+			g.emit("fsub f%d, f%d, f%d", fl, fl, fr)
+		case "*":
+			g.emit("fmul f%d, f%d, f%d", fl, fl, fr)
+		case "/":
+			g.emit("fdiv f%d, f%d, f%d", fl, fl, fr)
+		default:
+			g.errorf(e.line, "operator %q is not defined on floats", e.op)
+		}
+		return fl
+	}
+	g.errorf(0, "unsupported float expression")
+	return g.pushFP(0)
+}
+
+// arrayAddr leaves the element address of an indexRef in r26.
+func (g *codegen) arrayAddr(e indexRef) {
+	d, ok := g.lookupArray(e.name)
+	if !ok {
+		g.errorf(e.line, "undefined array %s", e.name)
+		return
+	}
+	idx := g.evalInt(e.index)
+	g.popInt()
+	g.emit("lda r26, arr_%s", arrLabel(d.name))
+	g.emit("slli r30, r%d, 3", idx)
+	g.emit("add r26, r26, r30")
+}
+
+// arrLabel sanitizes scoped array names ("f::a" -> "f__a") for labels.
+func arrLabel(name string) string {
+	return strings.ReplaceAll(name, "::", "__")
+}
+
+// ---- statements ----
+
+func (g *codegen) stmts(list []stmt) {
+	for _, s := range list {
+		g.stmt(s)
+	}
+}
+
+func (g *codegen) stmt(s stmt) {
+	if g.err != nil {
+		return
+	}
+	switch s := s.(type) {
+	case declStmt:
+		g.declare(s.d)
+		if g.err == nil && !s.d.isArr && s.d.hasInit {
+			g.initScalarScoped(s.d)
+		}
+	case returnStmt:
+		if g.scope == "" {
+			g.errorf(s.line, "return outside a function")
+			return
+		}
+		v := g.evalInt(s.value)
+		g.popInt()
+		g.emit("mov r30, r%d", v)
+		g.emit("br ret_%s", g.scope)
+	case assign:
+		g.assign(s)
+	case ifStmt:
+		els := g.newLabel("Lelse")
+		end := g.newLabel("Lend")
+		c := g.evalInt(s.cond)
+		g.popInt()
+		g.emit("beq r%d, %s", c, els)
+		g.stmts(s.then)
+		g.emit("br %s", end)
+		fmt.Fprintf(&g.b, "%s:\n", els)
+		g.stmts(s.els)
+		fmt.Fprintf(&g.b, "%s:\n", end)
+	case whileStmt:
+		top := g.newLabel("Lwhile")
+		end := g.newLabel("Lend")
+		fmt.Fprintf(&g.b, "%s:\n", top)
+		c := g.evalInt(s.cond)
+		g.popInt()
+		g.emit("beq r%d, %s", c, end)
+		g.loops = append(g.loops, loopCtx{continueLabel: top, breakLabel: end})
+		g.stmts(s.body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.emit("br %s", top)
+		fmt.Fprintf(&g.b, "%s:\n", end)
+	case breakStmt:
+		if len(g.loops) == 0 {
+			g.errorf(s.line, "break outside a loop")
+			return
+		}
+		g.emit("br %s", g.loops[len(g.loops)-1].breakLabel)
+	case continueStmt:
+		if len(g.loops) == 0 {
+			g.errorf(s.line, "continue outside a loop")
+			return
+		}
+		g.emit("br %s", g.loops[len(g.loops)-1].continueLabel)
+	case forStmt:
+		iv := g.implicitInt(s.ivar, s.line)
+		from := g.evalInt(s.from)
+		g.popInt()
+		g.emit("mov r%d, r%d", iv, from)
+		// The bound is evaluated once into a hidden scalar.
+		limit := g.implicitInt(fmt.Sprintf("for$%s$%d", s.ivar, g.label), s.line)
+		to := g.evalInt(s.to)
+		g.popInt()
+		g.emit("mov r%d, r%d", limit, to)
+		top := g.newLabel("Lfor")
+		cont := g.newLabel("Lcont")
+		end := g.newLabel("Lend")
+		fmt.Fprintf(&g.b, "%s:\n", top)
+		c := g.pushInt(s.line)
+		g.popInt()
+		g.emit("cmplt r%d, r%d, r%d", c, iv, limit)
+		g.emit("beq r%d, %s", c, end)
+		g.loops = append(g.loops, loopCtx{continueLabel: cont, breakLabel: end})
+		g.stmts(s.body)
+		g.loops = g.loops[:len(g.loops)-1]
+		fmt.Fprintf(&g.b, "%s:\n", cont)
+		g.emit("addi r%d, r%d, 1", iv, iv)
+		g.emit("br %s", top)
+		fmt.Fprintf(&g.b, "%s:\n", end)
+	}
+}
+
+func (g *codegen) assign(s assign) {
+	if c, ok := s.value.(callExpr); ok && s.index == nil {
+		g.emitCall(s, c)
+		return
+	}
+	if s.index != nil {
+		d, ok := g.lookupArray(s.target)
+		if !ok {
+			g.errorf(s.line, "undefined array %s", s.target)
+			return
+		}
+		if d.typ == typInt {
+			v := g.evalInt(s.value)
+			g.arrayAddr(indexRef{name: s.target, index: s.index, line: s.line})
+			g.emit("st r%d, 0(r26)", v)
+			g.popInt()
+		} else {
+			v := g.evalFloat(s.value)
+			g.arrayAddr(indexRef{name: s.target, index: s.index, line: s.line})
+			g.emit("stf f%d, 0(r26)", v)
+			g.popFP()
+		}
+		return
+	}
+	if freg, ok := g.lookupFP(s.target); ok {
+		v := g.evalFloat(s.value)
+		g.popFP()
+		g.emit("fmov f%d, f%d", freg, v)
+		return
+	}
+	reg := g.implicitInt(s.target, s.line)
+	if g.typeOf(s.value) == typFloat {
+		g.errorf(s.line, "assigning float to integer %s; cast with int(...)", s.target)
+		return
+	}
+	v := g.evalInt(s.value)
+	g.popInt()
+	g.emit("mov r%d, r%d", reg, v)
+}

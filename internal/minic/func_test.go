@@ -1,0 +1,192 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFunctions(t *testing.T) {
+	src := `
+var r1v = 0;
+var r2v = 0;
+var r3v = 0;
+
+func square(x) {
+    return x * x;
+}
+
+func sumsq(a, b) {
+    var s; s = square(a);
+    var q; q = square(b);
+    return s + q;
+}
+
+r1v = square(7);
+r2v = sumsq(3, 4);
+r3v = square(r2v);
+`
+	m := runFXK(t, src)
+	if got := intVar(t, src, "r1v", m); got != 49 {
+		t.Errorf("square(7) = %d, want 49", got)
+	}
+	if got := intVar(t, src, "r2v", m); got != 25 {
+		t.Errorf("sumsq(3,4) = %d, want 25", got)
+	}
+	if got := intVar(t, src, "r3v", m); got != 625 {
+		t.Errorf("square(25) = %d, want 625", got)
+	}
+}
+
+func TestFunctionLocalsAreScoped(t *testing.T) {
+	src := `
+var tmp = 100;
+var out = 0;
+
+func clobber(x) {
+    var tmp; tmp = x * 2;
+    return tmp;
+}
+
+out = clobber(5);
+`
+	m := runFXK(t, src)
+	if got := intVar(t, src, "out", m); got != 10 {
+		t.Errorf("clobber(5) = %d, want 10", got)
+	}
+	if got := intVar(t, src, "tmp", m); got != 100 {
+		t.Errorf("global tmp = %d, want 100 (function local must not clobber)", got)
+	}
+}
+
+func TestFunctionSeesGlobals(t *testing.T) {
+	src := `
+var base = 1000;
+var out = 0;
+
+func addbase(x) {
+    return x + base;
+}
+
+out = addbase(7);
+`
+	m := runFXK(t, src)
+	if got := intVar(t, src, "out", m); got != 1007 {
+		t.Errorf("addbase(7) = %d, want 1007", got)
+	}
+}
+
+func TestFunctionControlFlowAndArrays(t *testing.T) {
+	src := `
+var total = 0;
+var scratch[32];
+
+func fill(n) {
+    for i = 0 .. 32 {
+        scratch[i] = i * n;
+    }
+    return n;
+}
+
+func sum() {
+    var acc = 0;
+    for i = 0 .. 32 {
+        acc = acc + scratch[i];
+    }
+    return acc;
+}
+
+var unused = 0;
+unused = fill(3);
+total = sum();
+`
+	m := runFXK(t, src)
+	want := int64(3 * 31 * 32 / 2) // 3 * sum(0..31)
+	if got := intVar(t, src, "total", m); got != want {
+		t.Errorf("total = %d, want %d", got, want)
+	}
+}
+
+func TestFunctionDefaultReturnIsZero(t *testing.T) {
+	src := `
+var out = 5;
+func noret(x) {
+    var y; y = x + 1;
+}
+out = noret(3);
+`
+	m := runFXK(t, src)
+	if got := intVar(t, src, "out", m); got != 0 {
+		t.Errorf("fall-through return = %d, want 0", got)
+	}
+}
+
+func TestFunctionErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"var x = 0; x = f(1);", "undefined function"},
+		{"func f(a) { return a; }\nfunc f(a) { return a; }", "redeclared"},
+		{"func f(a) { var b; b = f(a); return b; }", "recursive"},
+		{"func f(a) { var b; b = g(a); return b; }\nfunc g(a) { var b; b = f(a); return b; }", "recursive"},
+		{"func f(a, b) { return a; }\nvar x = 0; x = f(1);", "takes 2 arguments"},
+		{"var x = 0; return x;", "outside a function"},
+		{"var x = 0; x = 1 + f(2);", "expected"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("source %q: expected error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("source %q: error %q missing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+var evens = 0;
+var firstbig = 0;
+for i = 0 .. 100 {
+    if (i & 1) == 1 { continue; }
+    evens = evens + 1;
+}
+for i = 0 .. 1000 {
+    if i * i > 500 {
+        firstbig = i;
+        break;
+    }
+}
+var nested = 0;
+for i = 0 .. 10 {
+    var j = 0;
+    while j < 10 {
+        j = j + 1;
+        if j > i { break; }
+        nested = nested + 1;
+    }
+}
+`
+	m := runFXK(t, src)
+	if got := intVar(t, src, "evens", m); got != 50 {
+		t.Errorf("evens = %d, want 50", got)
+	}
+	if got := intVar(t, src, "firstbig", m); got != 23 { // 23^2=529
+		t.Errorf("firstbig = %d, want 23", got)
+	}
+	// nested: for each i, inner counts min(i,10) iterations before break
+	// (j from 1..i) -> sum 0..9 = 45
+	if got := intVar(t, src, "nested", m); got != 45 {
+		t.Errorf("nested = %d, want 45", got)
+	}
+}
+
+func TestBreakOutsideLoopErrors(t *testing.T) {
+	for _, src := range []string{"break;", "continue;", "func f(a) { break; return a; }"} {
+		if _, err := Compile(src); err == nil || !strings.Contains(err.Error(), "outside a loop") {
+			t.Errorf("source %q: want outside-a-loop error, got %v", src, err)
+		}
+	}
+}

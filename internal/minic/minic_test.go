@@ -1,0 +1,302 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"fxa/internal/emu"
+)
+
+// runFXK compiles and executes an FXK program, returning the machine for
+// state inspection.
+func runFXK(t *testing.T, src string) *emu.Machine {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := emu.New(prog)
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halt {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+// intVar returns the value of a named integer scalar by recompiling the
+// source to find its register assignment.
+func intVar(t *testing.T, src, name string, m *emu.Machine) int64 {
+	t.Helper()
+	g := &codegen{intVars: map[string]int{}, fpVars: map[string]int{}, arrays: map[string]decl{},
+		funcs: map[string]*fnInfo{}, nextInt: intVarBase, nextFP: fpVarBase}
+	p, err := parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.gen(p); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := g.intVars[name]
+	if !ok {
+		t.Fatalf("no integer scalar %q", name)
+	}
+	return int64(m.R[r])
+}
+
+func fpVar(t *testing.T, src, name string, m *emu.Machine) float64 {
+	t.Helper()
+	g := &codegen{intVars: map[string]int{}, fpVars: map[string]int{}, arrays: map[string]decl{},
+		funcs: map[string]*fnInfo{}, nextInt: intVarBase, nextFP: fpVarBase}
+	p, err := parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.gen(p); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := g.fpVars[name]
+	if !ok {
+		t.Fatalf("no float scalar %q", name)
+	}
+	return m.F[r]
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+	var a = 10;
+	var b = 3;
+	var s; var d; var p; var q; var r; var m;
+	s = a + b;
+	d = a - b;
+	p = a * b;
+	q = a / b;
+	m = a % b;
+	r = (a + b) * 2 - a / 2;
+	`
+	m := runFXK(t, src)
+	for name, want := range map[string]int64{"s": 13, "d": 7, "p": 30, "q": 3, "m": 1, "r": 21} {
+		if got := intVar(t, src, name, m); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestBitwiseAndComparisons(t *testing.T) {
+	src := `
+	var a = 12;
+	var b = 10;
+	var x1; var x2; var x3; var x4; var x5; var x6; var x7; var x8;
+	x1 = a & b;
+	x2 = a | b;
+	x3 = a ^ b;
+	x4 = a << 2;
+	x5 = a >> 1;
+	x6 = a < b;
+	x7 = a >= b;
+	x8 = (a == 12) && (b != 3);
+	`
+	m := runFXK(t, src)
+	for name, want := range map[string]int64{
+		"x1": 8, "x2": 14, "x3": 6, "x4": 48, "x5": 6, "x6": 0, "x7": 1, "x8": 1,
+	} {
+		if got := intVar(t, src, name, m); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+	var sum = 0;
+	var n = 0;
+	for i = 1 .. 11 {
+		sum = sum + i;
+	}
+	while n < 5 {
+		n = n + 1;
+	}
+	var flag = 0;
+	if sum == 55 {
+		flag = 1;
+	} else {
+		flag = 2;
+	}
+	var flag2 = 9;
+	if sum == 0 { flag2 = 1; } else { flag2 = 2; }
+	`
+	m := runFXK(t, src)
+	for name, want := range map[string]int64{"sum": 55, "n": 5, "flag": 1, "flag2": 2} {
+		if got := intVar(t, src, name, m); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+	var a[64];
+	var sum = 0;
+	for i = 0 .. 64 {
+		a[i] = i * i;
+	}
+	for i = 0 .. 64 {
+		sum = sum + a[i];
+	}
+	var mid; mid = a[32];
+	`
+	m := runFXK(t, src)
+	if got := intVar(t, src, "sum", m); got != 85344 { // sum of squares 0..63
+		t.Errorf("sum = %d, want 85344", got)
+	}
+	if got := intVar(t, src, "mid", m); got != 1024 {
+		t.Errorf("mid = %d, want 1024", got)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	src := `
+	fvar x = 1.5;
+	fvar y = 2.0;
+	fvar z;
+	fvar w;
+	z = x * y + 0.5;
+	w = z / 2.0 - x;
+	var ge; ge = z >= 3.5;
+	var asint; asint = int(z);
+	fvar conv; conv = float(7) / y;
+	`
+	m := runFXK(t, src)
+	if got := fpVar(t, src, "z", m); got != 3.5 {
+		t.Errorf("z = %g, want 3.5", got)
+	}
+	if got := fpVar(t, src, "w", m); got != 0.25 {
+		t.Errorf("w = %g, want 0.25", got)
+	}
+	if got := intVar(t, src, "ge", m); got != 1 {
+		t.Errorf("ge = %d, want 1", got)
+	}
+	if got := intVar(t, src, "asint", m); got != 3 {
+		t.Errorf("asint = %d, want 3", got)
+	}
+	if got := fpVar(t, src, "conv", m); got != 3.5 {
+		t.Errorf("conv = %g, want 3.5", got)
+	}
+}
+
+func TestFloatArraysAndReduction(t *testing.T) {
+	src := `
+	fvar acc = 0.0;
+	fvar v[32];
+	for i = 0 .. 32 {
+		v[i] = float(i) * 0.5;
+	}
+	for i = 0 .. 32 {
+		acc = acc + v[i];
+	}
+	`
+	m := runFXK(t, src)
+	if got := fpVar(t, src, "acc", m); got != 248 { // 0.5 * (0+..+31) = 248
+		t.Errorf("acc = %g, want 248", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	src := `
+	var a[16];
+	var checksum = 0;
+	for i = 0 .. 4 {
+		for j = 0 .. 4 {
+			a[i*4+j] = i * 10 + j;
+		}
+	}
+	for k = 0 .. 16 {
+		checksum = checksum + a[k];
+	}
+	`
+	m := runFXK(t, src)
+	// sum over i,j of 10i+j = 10*4*(0+1+2+3) + 4*(0+1+2+3) = 240+24
+	if got := intVar(t, src, "checksum", m); got != 264 {
+		t.Errorf("checksum = %d, want 264", got)
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	src := `
+	var a = 5;
+	var n; n = -a;
+	var z; z = !a;
+	var o; o = !z;
+	fvar f = 2.5;
+	fvar g; g = -f;
+	`
+	m := runFXK(t, src)
+	if got := intVar(t, src, "n", m); got != -5 {
+		t.Errorf("n = %d, want -5", got)
+	}
+	if got := intVar(t, src, "z", m); got != 0 {
+		t.Errorf("z = %d, want 0", got)
+	}
+	if got := intVar(t, src, "o", m); got != 1 {
+		t.Errorf("o = %d, want 1", got)
+	}
+	if got := fpVar(t, src, "g", m); got != -2.5 {
+		t.Errorf("g = %g, want -2.5", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"var a = 1; var a = 2;", "redeclared"},
+		{"x = y;", "undefined variable"},
+		{"var a[4]; b = a;", "array"},
+		{"fvar f = 1.0; var i = 1; i = i + f;", "mixed"},
+		{"var x = 1 }", "expected"},
+		{"if 1 { x = 1;", "unterminated block"},
+		{"var a[0];", "positive"},
+		{"x = 1 +;", "expected an expression"},
+		{"fvar f = 1.0; var i; i = f;", "cast"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("source %q: expected error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("source %q: error %q missing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestScalarLimit(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 30; i++ {
+		sb.WriteString("var v")
+		sb.WriteByte(byte('a' + i%26))
+		sb.WriteString("x")
+		sb.WriteByte(byte('0' + i/26))
+		sb.WriteString(" = 1;\n")
+	}
+	if _, err := Compile(sb.String()); err == nil || !strings.Contains(err.Error(), "too many") {
+		t.Errorf("expected scalar-limit error, got %v", err)
+	}
+}
+
+func TestDeepExpression(t *testing.T) {
+	// ((((((1+2)+3)+4)... left-deep needs constant scratch.
+	src := "var x; x = 1+2+3+4+5+6+7+8+9+10;"
+	m := runFXK(t, src)
+	if got := intVar(t, src, "x", m); got != 55 {
+		t.Errorf("x = %d, want 55", got)
+	}
+	// Right-deep exceeds the scratch stack and must error politely.
+	deep := "var y; y = 1+(2+(3+(4+(5+(6+(7+(8+(9+10))))))));"
+	if _, err := Compile(deep); err == nil || !strings.Contains(err.Error(), "too deep") {
+		t.Errorf("expected depth error, got %v", err)
+	}
+}

@@ -1,0 +1,406 @@
+package minic
+
+import "fmt"
+
+// parser is a recursive-descent parser with C-style precedence climbing.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind == tokKeyword && (t.text == "var" || t.text == "fvar") {
+			d, err := p.decl()
+			if err != nil {
+				return nil, err
+			}
+			prog.decls = append(prog.decls, d)
+			continue
+		}
+		if t.kind == tokKeyword && t.text == "func" {
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.body = append(prog.body, s)
+	}
+	return prog, nil
+}
+
+// funcDecl := "func" IDENT "(" (IDENT ("," IDENT)*)? ")" block
+func (p *parser) funcDecl() (funcDecl, error) {
+	kw := p.next()
+	f := funcDecl{line: kw.line}
+	name := p.next()
+	if name.kind != tokIdent {
+		return f, p.errorf(name, "expected function name, found %s", name)
+	}
+	f.name = name.text
+	if err := p.expect("("); err != nil {
+		return f, err
+	}
+	for p.peek().text != ")" {
+		a := p.next()
+		if a.kind != tokIdent {
+			return f, p.errorf(a, "expected parameter name, found %s", a)
+		}
+		f.params = append(f.params, a.text)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return f, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return f, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a punctuation or keyword token with the given text.
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return p.errorf(t, "expected %q, found %s", text, t)
+	}
+	return nil
+}
+
+// accept consumes the token if it matches.
+func (p *parser) accept(text string) bool {
+	if p.peek().text == text && p.peek().kind != tokIdent {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// decl := ("var"|"fvar") IDENT ("[" INT "]" | "=" literal)? ";"
+func (p *parser) decl() (decl, error) {
+	kw := p.next()
+	d := decl{typ: typInt, line: kw.line}
+	if kw.text == "fvar" {
+		d.typ = typFloat
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return d, p.errorf(name, "expected variable name, found %s", name)
+	}
+	d.name = name.text
+	switch {
+	case p.accept("["):
+		n := p.next()
+		if n.kind != tokInt || n.ival <= 0 {
+			return d, p.errorf(n, "array length must be a positive integer literal")
+		}
+		d.isArr = true
+		d.arrLen = n.ival
+		if err := p.expect("]"); err != nil {
+			return d, err
+		}
+	case p.accept("="):
+		d.hasInit = true
+		v := p.next()
+		neg := false
+		if v.text == "-" {
+			neg = true
+			v = p.next()
+		}
+		switch {
+		case v.kind == tokInt && d.typ == typInt:
+			d.iinit = v.ival
+			if neg {
+				d.iinit = -d.iinit
+			}
+		case d.typ == typFloat && (v.kind == tokFloat || v.kind == tokInt):
+			d.init = v.fval
+			if v.kind == tokInt {
+				d.init = float64(v.ival)
+			}
+			if neg {
+				d.init = -d.init
+			}
+		default:
+			return d, p.errorf(v, "initializer type mismatch for %s %s", d.typ, d.name)
+		}
+	}
+	return d, p.expect(";")
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for p.peek().text != "}" || p.peek().kind == tokIdent {
+		if p.peek().kind == tokEOF {
+			return nil, p.errorf(p.peek(), "unterminated block")
+		}
+		if p.peek().text == "}" {
+			break
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, p.expect("}")
+}
+
+func (p *parser) stmt() (stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokKeyword && (t.text == "var" || t.text == "fvar"):
+		d, err := p.decl()
+		if err != nil {
+			return nil, err
+		}
+		return declStmt{d: d}, nil
+	case t.kind == tokKeyword && t.text == "break":
+		p.next()
+		return breakStmt{line: t.line}, p.expect(";")
+	case t.kind == tokKeyword && t.text == "continue":
+		p.next()
+		return continueStmt{line: t.line}, p.expect(";")
+	case t.kind == tokKeyword && t.text == "return":
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return returnStmt{value: v, line: t.line}, p.expect(";")
+	case t.kind == tokKeyword && t.text == "if":
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := ifStmt{cond: cond, then: then, line: t.line}
+		if p.peek().kind == tokKeyword && p.peek().text == "else" {
+			p.next()
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+		return s, nil
+	case t.kind == tokKeyword && t.text == "while":
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return whileStmt{cond: cond, body: body, line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "for":
+		p.next()
+		iv := p.next()
+		if iv.kind != tokIdent {
+			return nil, p.errorf(iv, "expected loop variable, found %s", iv)
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		from, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(".."); err != nil {
+			return nil, err
+		}
+		to, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return forStmt{ivar: iv.text, from: from, to: to, body: body, line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		s := assign{target: t.text, line: t.line}
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			s.index = idx
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		// A call may only be the entire right-hand side.
+		if p.peek().kind == tokIdent && p.toks[p.pos+1].text == "(" {
+			callee := p.next()
+			p.next() // "("
+			call := callExpr{name: callee.text, line: callee.line}
+			for p.peek().text != ")" {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			s.value = call
+			return s, p.expect(";")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.value = v
+		return s, p.expect(";")
+	default:
+		return nil, p.errorf(t, "expected a statement, found %s", t)
+	}
+}
+
+// Precedence table (C-like, loosest first).
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (expr, error) { return p.binexpr(0) }
+
+func (p *parser) binexpr(level int) (expr, error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	l, err := p.binexpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct || !contains(precLevels[level], t.text) {
+			return l, nil
+		}
+		p.next()
+		r, err := p.binexpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = binop{op: t.text, l: l, r: r, line: t.line}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unop{op: t.text, e: e, line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokInt:
+		return numLit{ival: t.ival, typ: typInt}, nil
+	case t.kind == tokFloat:
+		return numLit{fval: t.fval, typ: typFloat}, nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tokKeyword && (t.text == "int" || t.text == "float"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		to := typInt
+		if t.text == "float" {
+			to = typFloat
+		}
+		return castExpr{to: to, e: e, line: t.line}, nil
+	case t.kind == tokIdent:
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return indexRef{name: t.text, index: idx, line: t.line}, p.expect("]")
+		}
+		return varRef{name: t.text, line: t.line}, nil
+	default:
+		return nil, p.errorf(t, "expected an expression, found %s", t)
+	}
+}

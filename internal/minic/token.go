@@ -1,0 +1,195 @@
+// Package minic compiles FXK — a small C-flavoured kernel language — into
+// programs for the FXA toolchain. The paper's workloads are compiled
+// C/Fortran (gcc -O3 on Alpha); FXK plays the same role here for authoring
+// custom workloads without writing assembly:
+//
+//	var sum = 0;
+//	var a[1024];
+//	fvar scale = 1.5;
+//	for i = 0 .. 100000 {
+//	    a[i & 1023] = a[i & 1023] + i;
+//	    sum = sum + a[i & 1023];
+//	    if sum > 100000 { sum = sum % 100000; }
+//	}
+//
+// The language has 64-bit integer and 64-bit float scalars and global
+// arrays, expressions with C precedence, if/else, while, counted for
+// loops, and non-recursive integer functions:
+//
+//	func sumsq(a, b) {
+//	    var s; s = a*a + b*b;
+//	    return s;
+//	}
+//	var out = 0;
+//	out = sumsq(3, 4);
+//
+// Calls use a static calling convention (dedicated parameter and link
+// registers per function) and may appear only as the entire right-hand
+// side of an assignment. Scalars live in registers (like compiled code
+// with live values); arrays live in memory. Compile returns a loadable
+// asm.Program.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct // operators and delimiters, in tok.text
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.ival)
+	case tokFloat:
+		return fmt.Sprintf("%g", t.fval)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"var": true, "fvar": true, "if": true, "else": true,
+	"while": true, "for": true, "int": true, "float": true,
+	"func": true, "return": true, "break": true, "continue": true,
+}
+
+// operators, longest first so lexing is greedy.
+var punctuation = []string{
+	"..", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||",
+	"+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", "!",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+	err  error
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.err == nil && l.pos < len(l.src) {
+		l.step()
+	}
+	if l.err != nil {
+		return nil, l.err
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) errorf(format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *lexer) step() {
+	c := l.src[l.pos]
+	switch {
+	case c == '\n':
+		l.line++
+		l.pos++
+	case c == ' ' || c == '\t' || c == '\r':
+		l.pos++
+	case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+		for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+			l.pos++
+		}
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+	case unicode.IsDigit(rune(c)):
+		l.number()
+	default:
+		for _, p := range punctuation {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.toks = append(l.toks, token{kind: tokPunct, text: p, line: l.line})
+				l.pos += len(p)
+				return
+			}
+		}
+		l.errorf("unexpected character %q", c)
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	isFloat := false
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+	} else {
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		// A '.' starts a float only if not the ".." range operator.
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] != '.' {
+			isFloat = true
+			l.pos++
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			l.errorf("bad float literal %q", text)
+			return
+		}
+		l.toks = append(l.toks, token{kind: tokFloat, fval: f, text: text, line: l.line})
+		return
+	}
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		l.errorf("bad integer literal %q", text)
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokInt, ival: v, text: text, line: l.line})
+}
+
+func isHex(c byte) bool {
+	return unicode.IsDigit(rune(c)) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

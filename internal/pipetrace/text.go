@@ -1,0 +1,130 @@
+package pipetrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Text renders a classic textual pipeline diagram (one instruction per
+// row, one column per cycle) for short runs — handy in terminals where
+// Konata is unavailable:
+//
+//	0: 1000 add r1, r2, r3   F..RnX0X1X2Cm
+//	1: 1004 ld  r4, 0(r5)    F..RnX0DsIsCm
+//
+// Rows are capped (MaxInsts) because the diagram is quadratic in run
+// length.
+type Text struct {
+	// MaxInsts bounds the number of instructions rendered (default 64).
+	MaxInsts int
+
+	rows []*textRow
+	base int64
+}
+
+type textRow struct {
+	id     uint64
+	seq    uint64
+	label  string
+	start  int64
+	events []textEvent
+	done   bool
+	flush  bool
+	end    int64
+}
+
+type textEvent struct {
+	cycle int64
+	stage string
+}
+
+// NewText returns a text tracer rendering at most maxInsts rows (0 means
+// the default of 64).
+func NewText(maxInsts int) *Text {
+	if maxInsts <= 0 {
+		maxInsts = 64
+	}
+	return &Text{MaxInsts: maxInsts}
+}
+
+func (t *Text) row(id uint64) *textRow {
+	for i := len(t.rows) - 1; i >= 0; i-- {
+		if t.rows[i].id == id && !t.rows[i].done {
+			return t.rows[i]
+		}
+	}
+	return nil
+}
+
+// Start implements core.PipeTracer.
+func (t *Text) Start(cycle int64, id, seq uint64, pc uint64, disasm string) {
+	if len(t.rows) >= t.MaxInsts {
+		return
+	}
+	if len(t.rows) == 0 {
+		t.base = cycle
+	}
+	t.rows = append(t.rows, &textRow{
+		id:    id,
+		seq:   seq,
+		label: fmt.Sprintf("%x: %s", pc, disasm),
+		start: cycle,
+	})
+}
+
+// Stage implements core.PipeTracer.
+func (t *Text) Stage(cycle int64, id uint64, stage string) {
+	if r := t.row(id); r != nil {
+		r.events = append(r.events, textEvent{cycle: cycle, stage: stage})
+	}
+}
+
+// Retire implements core.PipeTracer.
+func (t *Text) Retire(cycle int64, id uint64, flushed bool) {
+	if r := t.row(id); r != nil {
+		r.done = true
+		r.flush = flushed
+		r.end = cycle
+	}
+}
+
+// Render writes the diagram to w.
+func (t *Text) Render(w io.Writer) {
+	if len(t.rows) == 0 {
+		return
+	}
+	// Label column width.
+	labelW := 0
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	for _, r := range t.rows {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%6d: %-*s ", r.seq, labelW, r.label)
+		events := append([]textEvent(nil), r.events...)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].cycle < events[j].cycle })
+		cur := t.base
+		for _, e := range events {
+			for ; cur < e.cycle; cur++ {
+				b.WriteString(".")
+			}
+			b.WriteString(e.stage)
+			cur++
+		}
+		if r.flush {
+			b.WriteString("  [flushed]")
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// String renders the diagram.
+func (t *Text) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,185 @@
+// Package report renders the evaluation's tables and figure data as
+// aligned text for the benchmark harness (cmd/fxabench, bench_test.go).
+// Figures are emitted as the numeric series the paper plots, plus crude
+// ASCII bars for quick visual comparison.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddF appends a row where float cells are formatted with prec decimals.
+func (t *Table) AddF(label string, prec int, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.*f", prec, v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(w, "  "+b.String())
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		n := widths[i]
+		_ = h
+		sep[i] = strings.Repeat("-", n)
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Bar renders a crude horizontal bar for value v on a scale where max maps
+// to width characters.
+func Bar(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Series renders an x/y table for line-plot figures (Figures 11-13).
+type Series struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	X       []string
+	Y       [][]float64 // Y[i][j]: value of column j at X[i]
+}
+
+// Render writes the series to w.
+func (s *Series) Render(w io.Writer) {
+	t := Table{Title: s.Title, Headers: append([]string{s.XLabel}, s.Columns...)}
+	for i, x := range s.X {
+		cells := []string{x}
+		for _, v := range s.Y[i] {
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+}
+
+// String renders the series to a string.
+func (s *Series) String() string {
+	var b strings.Builder
+	s.Render(&b)
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (RFC-4180-style quoting
+// for cells containing commas or quotes).
+func (t *Table) CSV(w io.Writer) {
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Headers)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+}
+
+// toTable converts the series for alternate renderings.
+func (s *Series) toTable() *Table {
+	t := &Table{Title: s.Title, Headers: append([]string{s.XLabel}, s.Columns...)}
+	for i, x := range s.X {
+		cells := []string{x}
+		for _, v := range s.Y[i] {
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// CSV renders the series as comma-separated values.
+func (s *Series) CSV(w io.Writer) { s.toTable().CSV(w) }
+
+// Markdown renders the series as a markdown table.
+func (s *Series) Markdown(w io.Writer) { s.toTable().Markdown(w) }

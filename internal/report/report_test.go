@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "Demo",
+		Headers: []string{"name", "a", "b"},
+	}
+	tb.AddRow("x", "1", "2")
+	tb.AddF("y", 2, 1.5, 2.25)
+	s := tb.String()
+	if !strings.Contains(s, "Demo") {
+		t.Error("missing title")
+	}
+	for _, want := range []string{"name", "x", "1.50", "2.25", "----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), s)
+	}
+	// Columns align: the header and data lines have equal width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator width mismatch:\n%s", s)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("Bar(5,10,10) = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Error("bar must clamp to width")
+	}
+	if Bar(-1, 10, 10) != "" {
+		t.Error("negative values render empty")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Error("zero max renders empty")
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := Series{
+		Title:   "Fig",
+		XLabel:  "stages",
+		Columns: []string{"INT", "FP"},
+		X:       []string{"1", "2"},
+		Y:       [][]float64{{0.35, 0.30}, {0.54, 0.51}},
+	}
+	out := s.String()
+	for _, want := range []string{"Fig", "stages", "INT", "0.350", "0.510"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := Table{Headers: []string{"name", "v"}}
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", "2")
+	tb.AddRow(`with"quote`, "3")
+	var b strings.Builder
+	tb.CSV(&b)
+	got := b.String()
+	want := "name,v\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	var b strings.Builder
+	tb.Markdown(&b)
+	out := b.String()
+	for _, want := range []string{"### T", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesExportFormats(t *testing.T) {
+	s := Series{Title: "F", XLabel: "x", Columns: []string{"y"}, X: []string{"1"}, Y: [][]float64{{0.5}}}
+	var c, m strings.Builder
+	s.CSV(&c)
+	s.Markdown(&m)
+	if !strings.Contains(c.String(), "x,y") || !strings.Contains(c.String(), "1,0.500") {
+		t.Errorf("series CSV broken: %q", c.String())
+	}
+	if !strings.Contains(m.String(), "| x | y |") {
+		t.Errorf("series markdown broken: %q", m.String())
+	}
+}

@@ -1,0 +1,136 @@
+// Package sampling implements periodic interval sampling (in the spirit of
+// SMARTS/SimPoint methodology) on top of the timing models: instead of one
+// long detailed simulation, the workload is fast-forwarded functionally
+// between short detailed windows, and the per-interval spread gives a
+// confidence measure for the estimate. The paper itself samples one 100M
+// window after a 4G skip (Section VI-A); interval sampling is the cheaper
+// methodology a user of this simulator would reach for on long workloads.
+//
+// Each interval runs on a fresh core (cold caches and predictors), so very
+// short windows carry cold-start bias; the per-interval coefficient of
+// variation reported in the Summary makes that visible.
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"fxa/internal/config"
+	"fxa/internal/core"
+	"fxa/internal/emu"
+	"fxa/internal/inorder"
+	"fxa/internal/stats"
+	"fxa/internal/workload"
+)
+
+// Config describes the sampling schedule.
+type Config struct {
+	// Intervals is the number of detailed windows.
+	Intervals int
+	// IntervalInsts is the length of each detailed window in dynamic
+	// instructions.
+	IntervalInsts uint64
+	// SkipInsts is the functional fast-forward between windows.
+	SkipInsts uint64
+}
+
+// Validate checks the schedule.
+func (c *Config) Validate() error {
+	if c.Intervals <= 0 || c.IntervalInsts == 0 {
+		return fmt.Errorf("sampling: need positive intervals and window length")
+	}
+	return nil
+}
+
+// Summary aggregates a sampled simulation.
+type Summary struct {
+	PerInterval []core.Result
+	// Aggregate sums every counter across intervals.
+	Aggregate stats.Counters
+	// MeanIPC and IPCStdDev describe the per-interval IPC distribution.
+	MeanIPC   float64
+	IPCStdDev float64
+}
+
+// CoV returns the coefficient of variation of per-interval IPC — a cheap
+// confidence signal (low CoV: the windows agree).
+func (s *Summary) CoV() float64 {
+	if s.MeanIPC == 0 {
+		return 0
+	}
+	return s.IPCStdDev / s.MeanIPC
+}
+
+// Run samples workload w on model m per cfg. The functional machine is
+// shared across intervals (architectural state advances continuously);
+// each detailed window runs on a fresh core.
+func Run(m config.Model, w workload.Params, cfg Config) (Summary, error) {
+	var sum Summary
+	if err := cfg.Validate(); err != nil {
+		return sum, err
+	}
+	prog, err := w.Build()
+	if err != nil {
+		return sum, err
+	}
+	machine := emu.New(prog)
+	for i := 0; i < cfg.Intervals; i++ {
+		if cfg.SkipInsts > 0 {
+			if _, err := machine.Run(cfg.SkipInsts); err != nil {
+				return sum, err
+			}
+		}
+		if machine.Halt {
+			break
+		}
+		stream := emu.NewStream(machine, machine.InstCount+cfg.IntervalInsts)
+		res, err := runOne(m, stream)
+		if err != nil {
+			return sum, err
+		}
+		if terr := stream.Err(); terr != nil {
+			return sum, terr
+		}
+		sum.PerInterval = append(sum.PerInterval, res)
+		sum.Aggregate.Add(&res.Counters)
+	}
+	if len(sum.PerInterval) == 0 {
+		return sum, fmt.Errorf("sampling: workload halted before the first window")
+	}
+	var total, totalSq float64
+	for _, r := range sum.PerInterval {
+		ipc := r.Counters.IPC()
+		total += ipc
+		totalSq += ipc * ipc
+	}
+	n := float64(len(sum.PerInterval))
+	sum.MeanIPC = total / n
+	sum.IPCStdDev = math.Sqrt(maxf(0, totalSq/n-sum.MeanIPC*sum.MeanIPC))
+	return sum, nil
+}
+
+func runOne(m config.Model, stream *emu.Stream) (core.Result, error) {
+	switch m.Kind {
+	case config.OutOfOrder:
+		co, err := core.New(m, stream)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return co.Run()
+	case config.InOrder:
+		co, err := inorder.New(m, stream)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return co.Run()
+	default:
+		return core.Result{}, fmt.Errorf("sampling: unknown core kind %d", m.Kind)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

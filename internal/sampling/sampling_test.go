@@ -1,0 +1,71 @@
+package sampling
+
+import (
+	"testing"
+
+	"fxa/internal/config"
+	"fxa/internal/workload"
+)
+
+func TestSampledEstimateMatchesLongRun(t *testing.T) {
+	w, _ := workload.ByName("hmmer") // steady-state kernel
+	// Long reference run.
+	trace, err := w.NewTrace(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := runOne(config.HalfFX(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled: 5 windows of 20k spaced by 15k skips (~35% detail).
+	sum, err := Run(config.HalfFX(), w, Config{Intervals: 5, IntervalInsts: 20_000, SkipInsts: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIPC := ref.Counters.IPC()
+	if d := sum.MeanIPC/refIPC - 1; d < -0.15 || d > 0.15 {
+		t.Errorf("sampled IPC %.3f deviates %.0f%% from reference %.3f", sum.MeanIPC, 100*d, refIPC)
+	}
+	if sum.CoV() > 0.25 {
+		t.Errorf("steady workload CoV %.2f too high", sum.CoV())
+	}
+	if got := len(sum.PerInterval); got != 5 {
+		t.Errorf("got %d intervals, want 5", got)
+	}
+	if sum.Aggregate.Committed != 5*20_000 {
+		t.Errorf("aggregate committed %d, want 100000", sum.Aggregate.Committed)
+	}
+}
+
+func TestSamplingAdvancesArchitecturalState(t *testing.T) {
+	w, _ := workload.ByName("libquantum")
+	sum, err := Run(config.Big(), w, Config{Intervals: 3, IntervalInsts: 5_000, SkipInsts: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.PerInterval) != 3 {
+		t.Fatalf("got %d intervals", len(sum.PerInterval))
+	}
+}
+
+func TestSamplingOnInOrderCore(t *testing.T) {
+	w, _ := workload.ByName("gcc")
+	sum, err := Run(config.Little(), w, Config{Intervals: 2, IntervalInsts: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanIPC <= 0 {
+		t.Error("no progress on LITTLE")
+	}
+}
+
+func TestSamplingValidation(t *testing.T) {
+	w, _ := workload.ByName("gcc")
+	if _, err := Run(config.Big(), w, Config{Intervals: 0, IntervalInsts: 100}); err == nil {
+		t.Error("zero intervals must be rejected")
+	}
+	if _, err := Run(config.Big(), w, Config{Intervals: 1, IntervalInsts: 0}); err == nil {
+		t.Error("zero window length must be rejected")
+	}
+}

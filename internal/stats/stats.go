@@ -1,0 +1,155 @@
+// Package stats defines the event counters shared by the timing models and
+// consumed by the energy model and the reporting harness. Every counter is
+// an architectural event with a physical meaning (a port access, a CAM
+// search, a wire drive) so the energy model can price it.
+package stats
+
+import "fxa/internal/isa"
+
+// Counters aggregates all events of one simulation run.
+type Counters struct {
+	// Progress.
+	Cycles           uint64
+	Committed        uint64
+	CommittedByClass [isa.NumClasses]uint64
+
+	// Front end.
+	FetchedInsts     uint64 // correct-path instructions fetched
+	WrongPathFetched uint64 // estimated wrong-path instructions fetched+decoded
+	WrongPathExec    uint64 // estimated wrong-path instructions executed
+	DecodeOps        uint64
+	RATReads         uint64
+	RATWrites        uint64
+
+	// IXU (FXA only).
+	IXUExec         uint64    // instructions executed in the IXU
+	IXUExecByStage  [8]uint64 // by IXU stage index
+	IXUReadyAtEntry uint64    // category (a): ready when entering the IXU
+	IXUBypassDrives uint64    // result-wire drives in the IXU bypass network
+	IXUPassThrough  uint64    // stage traversals as NOP (no dynamic FU energy)
+	IXULoadExec     uint64
+	IXUStoreExec    uint64
+	IXUBranchExec   uint64
+	ScoreboardReads uint64
+
+	// OXU.
+	OXUExec         uint64 // instructions executed in the OXU
+	IQDispatch      uint64 // IQ entry writes
+	IQIssue         uint64 // IQ entry reads (grant+payload read)
+	IQWakeups       uint64 // tag broadcasts across the IQ CAM
+	OXUBypassDrives uint64
+
+	// Register files.
+	PRFReads  uint64
+	PRFWrites uint64
+
+	// LSQ.
+	LQWrites        uint64
+	SQWrites        uint64
+	LQSearches      uint64 // searches triggered by store execution
+	SQSearches      uint64 // searches triggered by load execution
+	LQWriteOmitted  uint64 // paper §II-D3 omission 2
+	LQSearchOmitted uint64 // paper §II-D3 omission 1
+	MemViolations   uint64
+	StoreForwarded  uint64
+
+	// Execution units (both IXU and OXU), by class.
+	FUOps [isa.NumClasses]uint64
+
+	// Branches.
+	Branches             uint64
+	BranchMispredicts    uint64
+	MispredResolvedIXU   uint64
+	MispredResolvedOXU   uint64
+	MispredPenaltyCycles uint64
+
+	// ROB.
+	ROBWrites uint64
+	ROBReads  uint64
+
+	// Flush/replay.
+	Replays      uint64
+	ReplayedUops uint64
+
+	// RENO extension (move elimination at rename).
+	RenoEliminated uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Committed) / float64(c.Cycles)
+}
+
+// IXURate returns the fraction of committed instructions that executed in
+// the IXU (the paper's "executed instructions rate", Figure 12).
+func (c *Counters) IXURate() float64 {
+	if c.Committed == 0 {
+		return 0
+	}
+	return float64(c.IXUExec) / float64(c.Committed)
+}
+
+// MPKI returns branch mispredicts per kilo-instruction.
+func (c *Counters) MPKI() float64 {
+	if c.Committed == 0 {
+		return 0
+	}
+	return 1000 * float64(c.BranchMispredicts) / float64(c.Committed)
+}
+
+// Add accumulates other into c (used to aggregate multi-run sweeps).
+func (c *Counters) Add(other *Counters) {
+	c.Cycles += other.Cycles
+	c.Committed += other.Committed
+	for i := range c.CommittedByClass {
+		c.CommittedByClass[i] += other.CommittedByClass[i]
+	}
+	c.FetchedInsts += other.FetchedInsts
+	c.WrongPathFetched += other.WrongPathFetched
+	c.WrongPathExec += other.WrongPathExec
+	c.DecodeOps += other.DecodeOps
+	c.RATReads += other.RATReads
+	c.RATWrites += other.RATWrites
+	c.IXUExec += other.IXUExec
+	for i := range c.IXUExecByStage {
+		c.IXUExecByStage[i] += other.IXUExecByStage[i]
+	}
+	c.IXUReadyAtEntry += other.IXUReadyAtEntry
+	c.IXUBypassDrives += other.IXUBypassDrives
+	c.IXUPassThrough += other.IXUPassThrough
+	c.IXULoadExec += other.IXULoadExec
+	c.IXUStoreExec += other.IXUStoreExec
+	c.IXUBranchExec += other.IXUBranchExec
+	c.ScoreboardReads += other.ScoreboardReads
+	c.OXUExec += other.OXUExec
+	c.IQDispatch += other.IQDispatch
+	c.IQIssue += other.IQIssue
+	c.IQWakeups += other.IQWakeups
+	c.OXUBypassDrives += other.OXUBypassDrives
+	c.PRFReads += other.PRFReads
+	c.PRFWrites += other.PRFWrites
+	c.LQWrites += other.LQWrites
+	c.SQWrites += other.SQWrites
+	c.LQSearches += other.LQSearches
+	c.SQSearches += other.SQSearches
+	c.LQWriteOmitted += other.LQWriteOmitted
+	c.LQSearchOmitted += other.LQSearchOmitted
+	c.MemViolations += other.MemViolations
+	c.StoreForwarded += other.StoreForwarded
+	for i := range c.FUOps {
+		c.FUOps[i] += other.FUOps[i]
+	}
+	c.Branches += other.Branches
+	c.BranchMispredicts += other.BranchMispredicts
+	c.MispredResolvedIXU += other.MispredResolvedIXU
+	c.MispredResolvedOXU += other.MispredResolvedOXU
+	c.MispredPenaltyCycles += other.MispredPenaltyCycles
+	c.ROBWrites += other.ROBWrites
+	c.ROBReads += other.ROBReads
+	c.Replays += other.Replays
+	c.ReplayedUops += other.ReplayedUops
+	c.RenoEliminated += other.RenoEliminated
+}

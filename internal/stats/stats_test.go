@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"testing"
+
+	"fxa/internal/isa"
+)
+
+func TestDerivedMetrics(t *testing.T) {
+	c := Counters{Cycles: 200, Committed: 100, IXUExec: 60, BranchMispredicts: 5}
+	if c.IPC() != 0.5 {
+		t.Errorf("IPC = %v", c.IPC())
+	}
+	if c.IXURate() != 0.6 {
+		t.Errorf("IXURate = %v", c.IXURate())
+	}
+	if c.MPKI() != 50 {
+		t.Errorf("MPKI = %v", c.MPKI())
+	}
+	var zero Counters
+	if zero.IPC() != 0 || zero.IXURate() != 0 || zero.MPKI() != 0 {
+		t.Error("zero counters must not divide by zero")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Counters{Cycles: 10, Committed: 5, IXUExec: 3, PRFReads: 7}
+	a.CommittedByClass[isa.ClassIntALU] = 4
+	a.IXUExecByStage[1] = 2
+	a.FUOps[isa.ClassLoad] = 1
+	b := a
+	a.Add(&b)
+	if a.Cycles != 20 || a.Committed != 10 || a.IXUExec != 6 || a.PRFReads != 14 {
+		t.Errorf("Add broken: %+v", a)
+	}
+	if a.CommittedByClass[isa.ClassIntALU] != 8 || a.IXUExecByStage[1] != 4 || a.FUOps[isa.ClassLoad] != 2 {
+		t.Error("Add must accumulate array fields")
+	}
+}

@@ -1,0 +1,113 @@
+package workload
+
+// The proxy catalog: one entry per SPEC CPU 2006 program evaluated in the
+// paper (12 INT + 17 FP, Figure 7). Parameters encode each program's
+// published character along the four axes the FXA results depend on:
+// instruction mix, dependence structure, branch predictability, and memory
+// footprint. Highlights the paper calls out explicitly:
+//
+//   - libquantum and gromacs contain >80 % "INT operations" (logical,
+//     add/sub, shift, branch — excluding loads/stores), which is why
+//     HALF+FX speeds them up the most (Section VI-C);
+//   - mcf and omnetpp are pointer-chasing and memory-bound;
+//   - FP programs still average ~31 % FP instructions (max 52 %), so the
+//     IXU executes about half of their instructions (footnote 5).
+func Catalog() []Params {
+	kb := func(n int) int { return n << 10 }
+	mb := func(n int) int { return n << 20 }
+	return []Params{
+		// ---- SPEC CPU 2006 INT ----
+		{Name: "astar", ALU: 10, ChainsInt: 3, Consec: 4, Chase: 1, Loads: 2, Pattern: Random,
+			Footprint: mb(1), RandBranches: 2, TakenBias: 0.12, BodyRepeat: 1},
+		{Name: "bzip2", ALU: 12, Mul: 1, ChainsInt: 5, Consec: 4, LoadUse: 3, Loads: 2, Stores: 2, Pattern: Stream,
+			Footprint: kb(128), Stride: 8, RandBranches: 2, TakenBias: 0.08, BodyRepeat: 1},
+		{Name: "gcc", ALU: 10, ChainsInt: 4, Consec: 4, LoadUse: 3, Loads: 2, Stores: 2, Pattern: Random,
+			Footprint: kb(128), RandBranches: 3, TakenBias: 0.06, BodyRepeat: 3},
+		{Name: "gobmk", ALU: 12, Mul: 1, ChainsInt: 4, Consec: 3, LoadUse: 3, Loads: 1, Pattern: Random,
+			Footprint: kb(64), RandBranches: 4, TakenBias: 0.10, BodyRepeat: 1},
+		{Name: "h264ref", ALU: 16, Mul: 2, ChainsInt: 6, Consec: 3, LoadUse: 3, Loads: 3, Stores: 2, Pattern: Stream,
+			Footprint: kb(128), Stride: 8, RandBranches: 1, TakenBias: 0.05, BodyRepeat: 1},
+		{Name: "hmmer", ALU: 18, ChainsInt: 8, Consec: 2, LoadUse: 3, Loads: 3, Stores: 2, Pattern: Stream,
+			Footprint: kb(64), Stride: 8, BodyRepeat: 1},
+		{Name: "libquantum", ALU: 22, Mul: 1, ChainsInt: 5, Consec: 2, Loads: 2, Stores: 1, Pattern: Stream,
+			Footprint: mb(4), Stride: 8, BodyRepeat: 2},
+		{Name: "mcf", ALU: 10, ChainsInt: 3, Chase: 1, Loads: 2, Pattern: Random,
+			Footprint: mb(8), RandBranches: 2, TakenBias: 0.10, BodyRepeat: 1},
+		{Name: "omnetpp", ALU: 10, ChainsInt: 3, Consec: 2, Chase: 1, Loads: 2, Pattern: Random,
+			Footprint: mb(2), RandBranches: 2, TakenBias: 0.10, BodyRepeat: 1},
+		{Name: "perlbench", ALU: 10, ChainsInt: 4, Consec: 4, LoadUse: 3, Loads: 2, Stores: 1, Pattern: Random,
+			Footprint: kb(128), RandBranches: 3, TakenBias: 0.07, BodyRepeat: 2},
+		{Name: "sjeng", ALU: 12, Mul: 1, ChainsInt: 4, Consec: 3, LoadUse: 2, Loads: 2, Pattern: Random,
+			Footprint: kb(128), RandBranches: 3, TakenBias: 0.10, BodyRepeat: 1},
+		{Name: "xalancbmk", ALU: 9, ChainsInt: 3, Consec: 3, LoadUse: 2, Loads: 3, Pattern: Random,
+			Footprint: kb(512), RandBranches: 3, TakenBias: 0.07, BodyRepeat: 3},
+
+		// ---- SPEC CPU 2006 FP ----
+		{Name: "GemsFDTD", FP: true, ALU: 6, ChainsInt: 3, Consec: 2, Loads: 5, Stores: 2, Pattern: Stream,
+			Footprint: mb(8), Stride: 128, FPAdd: 4, FPMul: 3, BodyRepeat: 1},
+		{Name: "bwaves", FP: true, ALU: 7, ChainsInt: 4, Consec: 2, Loads: 5, Pattern: Stream,
+			Footprint: mb(8), Stride: 128, FPAdd: 4, FPMul: 4, BodyRepeat: 1},
+		{Name: "cactusADM", FP: true, ALU: 6, ChainsInt: 3, Consec: 3, LoadUse: 2, Loads: 4, Stores: 2, Pattern: Stream,
+			Footprint: mb(4), Stride: 32, FPAdd: 5, FPMul: 4, BodyRepeat: 1},
+		{Name: "calculix", FP: true, ALU: 9, Mul: 1, ChainsInt: 5, Consec: 3, LoadUse: 2, Loads: 3, Stores: 1, Pattern: Stream,
+			Footprint: kb(256), Stride: 8, FPAdd: 3, FPMul: 3, BodyRepeat: 1},
+		{Name: "dealII", FP: true, ALU: 10, ChainsInt: 4, Consec: 2, Loads: 4, Pattern: Random,
+			Footprint: kb(256), FPAdd: 2, FPMul: 2, RandBranches: 2, TakenBias: 0.08, BodyRepeat: 1},
+		{Name: "gamess", FP: true, ALU: 9, ChainsInt: 5, Consec: 3, LoadUse: 2, Loads: 3, Pattern: Stream,
+			Footprint: kb(128), Stride: 8, FPAdd: 4, FPMul: 4, FPDiv: 1, BodyRepeat: 1},
+		{Name: "gromacs", FP: true, ALU: 20, ChainsInt: 6, Consec: 2, Loads: 3, Pattern: Stream,
+			Footprint: kb(128), Stride: 8, FPAdd: 2, FPMul: 2, BodyRepeat: 2},
+		{Name: "lbm", FP: true, ALU: 5, ChainsInt: 4, Loads: 5, Stores: 4, Pattern: Stream,
+			Footprint: mb(8), Stride: 128, FPAdd: 5, FPMul: 4, BodyRepeat: 1},
+		{Name: "leslie3d", FP: true, ALU: 6, ChainsInt: 3, Consec: 2, LoadUse: 2, Loads: 4, Stores: 2, Pattern: Stream,
+			Footprint: mb(4), Stride: 64, FPAdd: 4, FPMul: 3, BodyRepeat: 1},
+		{Name: "milc", FP: true, ALU: 5, ChainsInt: 3, Loads: 5, Stores: 2, Pattern: Random,
+			Footprint: mb(8), FPAdd: 3, FPMul: 4, BodyRepeat: 1},
+		{Name: "namd", FP: true, ALU: 9, ChainsInt: 6, Consec: 3, LoadUse: 2, Loads: 3, Pattern: Stream,
+			Footprint: kb(64), Stride: 8, FPAdd: 5, FPMul: 5, BodyRepeat: 1},
+		{Name: "povray", FP: true, ALU: 12, Mul: 1, ChainsInt: 4, Loads: 4, Pattern: Random,
+			Footprint: kb(128), FPAdd: 3, FPMul: 3, FPDiv: 1, RandBranches: 2, TakenBias: 0.07, BodyRepeat: 1},
+		{Name: "soplex", FP: true, ALU: 10, ChainsInt: 4, Loads: 5, Pattern: Random,
+			Footprint: mb(1), FPAdd: 2, FPMul: 2, RandBranches: 2, TakenBias: 0.10, BodyRepeat: 1},
+		{Name: "sphinx3", FP: true, ALU: 8, ChainsInt: 4, Consec: 2, LoadUse: 2, Loads: 4, Pattern: Stream,
+			Footprint: mb(1), Stride: 32, FPAdd: 3, FPMul: 3, RandBranches: 1, TakenBias: 0.07, BodyRepeat: 1},
+		{Name: "tonto", FP: true, ALU: 9, ChainsInt: 5, Consec: 3, LoadUse: 2, Loads: 3, Pattern: Stream,
+			Footprint: kb(256), Stride: 8, FPAdd: 4, FPMul: 3, FPDiv: 1, BodyRepeat: 1},
+		{Name: "wrf", FP: true, ALU: 8, ChainsInt: 4, Consec: 3, LoadUse: 2, Loads: 3, Stores: 2, Pattern: Stream,
+			Footprint: mb(2), Stride: 32, FPAdd: 4, FPMul: 3, BodyRepeat: 1},
+		{Name: "zeusmp", FP: true, ALU: 7, ChainsInt: 4, Consec: 3, LoadUse: 2, Loads: 3, Stores: 2, Pattern: Stream,
+			Footprint: mb(4), Stride: 32, FPAdd: 4, FPMul: 3, BodyRepeat: 1},
+	}
+}
+
+// INT returns the integer-group proxies in catalog order.
+func INT() []Params {
+	var out []Params
+	for _, p := range Catalog() {
+		if !p.FP {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FPGroup returns the floating-point-group proxies in catalog order.
+func FPGroup() []Params {
+	var out []Params
+	for _, p := range Catalog() {
+		if p.FP {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByName returns the named proxy.
+func ByName(name string) (Params, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+
+	"fxa/internal/emu"
+	"fxa/internal/minic"
+)
+
+// Compiled is a workload authored in FXK and compiled with the bundled
+// compiler (internal/minic). Compiled kernels have compiler-like register
+// reuse and load→use idioms, so their IXU execution rates sit close to the
+// paper's compiled-SPEC numbers (see EXPERIMENTS.md, deviation D1) —
+// useful as a cross-check on the synthetic proxies.
+type Compiled struct {
+	Name   string
+	FP     bool
+	Source string
+}
+
+// NewTrace compiles the kernel and returns a dynamic-instruction stream
+// capped at maxInsts (0 = to completion).
+func (c Compiled) NewTrace(maxInsts uint64) (*emu.Stream, error) {
+	prog, err := minic.Compile(c.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", c.Name, err)
+	}
+	return emu.NewStream(emu.New(prog), maxInsts), nil
+}
+
+// CompiledCatalog returns the FXK kernel suite.
+func CompiledCatalog() []Compiled {
+	return []Compiled{
+		{Name: "histogram", Source: `
+// byte-bucket histogram of a pseudo-random stream + prefix sum.
+var hist[256];
+var seed = 123456789;
+for round = 0 .. 2000 {
+    for i = 0 .. 32 {
+        seed = seed ^ (seed << 13);
+        seed = seed ^ (seed >> 7);
+        seed = seed ^ (seed << 17);
+        hist[seed & 255] = hist[seed & 255] + 1;
+    }
+}
+var total = 0;
+for b = 1 .. 256 {
+    hist[b] = hist[b] + hist[b-1];
+}
+total = hist[255];
+`},
+		{Name: "shellsort", Source: `
+// Shell sort over a pseudo-random array, repeated with re-shuffles.
+var a[256];
+var seed = 42;
+for round = 0 .. 40 {
+    for i = 0 .. 256 {
+        seed = (seed * 1103 + 12289) % 1000000;
+        a[i] = seed;
+    }
+    var gap = 128;
+    while gap > 0 {
+        for i = gap .. 256 {
+            var tmp; tmp = a[i];
+            var j; j = i;
+            while (j >= gap) && (a[j-gap] > tmp) {
+                a[j] = a[j-gap];
+                j = j - gap;
+            }
+            a[j] = tmp;
+        }
+        gap = gap / 2;
+    }
+}
+`},
+		{Name: "bsearch", Source: `
+// repeated binary searches over a sorted table (branchy, load-dependent).
+var table[1024];
+var hits = 0;
+var seed = 7;
+for i = 0 .. 1024 {
+    table[i] = i * 3;
+}
+for q = 0 .. 30000 {
+    seed = seed ^ (seed << 13);
+    seed = seed ^ (seed >> 7);
+    seed = seed ^ (seed << 17);
+    var key; key = (seed & 4095);
+    var lo = 0;
+    var hi = 1024;
+    while lo < hi {
+        var mid; mid = (lo + hi) / 2;
+        if table[mid] < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo < 1024 {
+        if table[lo] == key { hits = hits + 1; }
+    }
+}
+`},
+		{Name: "stencil", FP: true, Source: `
+// 1-D three-point stencil sweep (streaming FP, like the paper's FP group).
+fvar u[2048];
+fvar v[2048];
+for i = 0 .. 2048 {
+    u[i] = float(i % 17) * 0.25;
+}
+for step = 0 .. 60 {
+    for i = 1 .. 2047 {
+        v[i] = (u[i-1] + u[i] + u[i+1]) * 0.333333;
+    }
+    for i = 1 .. 2047 {
+        u[i] = v[i];
+    }
+}
+`},
+		{Name: "nbody-lite", FP: true, Source: `
+// pairwise force accumulation (compute-bound FP, namd-flavoured).
+fvar px[64]; fvar py[64];
+fvar fx[64]; fvar fy[64];
+for i = 0 .. 64 {
+    px[i] = float(i) * 0.5;
+    py[i] = float(i % 9) * 1.25;
+}
+for step = 0 .. 60 {
+    for i = 0 .. 64 {
+        fx[i] = 0.0;
+        fy[i] = 0.0;
+        for j = 0 .. 64 {
+            fvar dx; dx = px[j] - px[i];
+            fvar dy; dy = py[j] - py[i];
+            fvar d2; d2 = dx*dx + dy*dy + 0.5;
+            fvar inv; inv = 1.0 / d2;
+            fx[i] = fx[i] + dx * inv;
+            fy[i] = fy[i] + dy * inv;
+        }
+    }
+    for i = 0 .. 64 {
+        px[i] = px[i] + fx[i] * 0.001;
+        py[i] = py[i] + fy[i] * 0.001;
+    }
+}
+`},
+		{Name: "checksum", Source: `
+// rolling checksum over a table (gcc/bzip2-flavoured INT mixing).
+var data[4096];
+var h = 5381;
+var seed = 99;
+for i = 0 .. 4096 {
+    seed = (seed * 1103 + 12289) % 262144;
+    data[i] = seed;
+}
+for round = 0 .. 120 {
+    for i = 0 .. 4096 {
+        h = ((h << 5) + h) ^ data[i];
+        h = h & 0xFFFFFF;
+    }
+}
+`},
+	}
+}
+
+// CompiledByName returns the named compiled kernel.
+func CompiledByName(name string) (Compiled, bool) {
+	for _, c := range CompiledCatalog() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Compiled{}, false
+}
