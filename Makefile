@@ -1,0 +1,37 @@
+# Tier-1 verification and developer targets.
+#
+#   make tier1   build + vet + full test suite + race check of the
+#                concurrent packages (the sweep engine and its users)
+#   make race    only the scoped race check
+#   make bench   the repo's benchmark suite
+
+GO ?= go
+
+# Packages with real concurrency: the sweep engine and the sampling
+# harness that parallelizes detailed windows through it. (The root
+# package's multi-worker determinism tests run under race in race-full.)
+RACE_PKGS = ./internal/sweep ./internal/sampling
+
+.PHONY: tier1 build vet test race race-full bench
+
+tier1: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Heavier: also run the root determinism tests (full evaluation sweeps at
+# several worker counts) under the race detector.
+race-full: race
+	$(GO) test -race -run 'TestParallel|TestEvaluationCache|TestFigureSweepsDeterministic' .
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -3,18 +3,29 @@
 //
 // Usage:
 //
-//	fxabench [-n insts] [-experiment all|table1|table2|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|headline] [-format text|csv|markdown] [-q]
+//	fxabench [-n insts] [-j workers] [-cache] [-cachedir dir]
+//	         [-experiment all|table1|table2|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|headline]
+//	         [-format text|csv|markdown] [-q]
 //
 // The main sweep (figures 7, 8a, 8b, 10 and the headline numbers) runs
 // every SPEC CPU 2006 proxy on every model once and derives all views from
 // that single evaluation. Figures 11-13 run their own design-space sweeps.
+//
+// All sweeps execute through the internal/sweep orchestration engine on a
+// bounded worker pool (-j, default GOMAXPROCS); results are deterministic
+// for any worker count. With -cache, finished runs are stored in a
+// content-addressed on-disk cache (-cachedir, default
+// $XDG_CACHE_HOME/fxabench) so repeated invocations with unchanged
+// configurations skip simulation entirely.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fxa"
@@ -28,12 +39,44 @@ type renderable interface {
 	Markdown(w io.Writer)
 }
 
+// validExperiments lists the accepted -experiment values in display order.
+var validExperiments = []string{
+	"all", "table1", "table2", "fig7", "fig8a", "fig8b", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "headline",
+}
+
+// validFormats lists the accepted -format values.
+var validFormats = []string{"text", "csv", "markdown"}
+
 func main() {
 	n := flag.Uint64("n", 300_000, "dynamic instructions per benchmark run")
-	exp := flag.String("experiment", "all", "which experiment to run (all, table1, table2, fig7, fig8a, fig8b, fig9, fig10, fig11, fig12, fig13, headline)")
+	exp := flag.String("experiment", "all", "which experiment to run ("+strings.Join(validExperiments, ", ")+")")
 	quiet := flag.Bool("q", false, "suppress progress output")
-	format := flag.String("format", "text", "output format: text, csv, or markdown")
+	format := flag.String("format", "text", "output format: "+strings.Join(validFormats, ", "))
+	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	useCache := flag.Bool("cache", false, "cache simulation results on disk and reuse them")
+	cacheDir := flag.String("cachedir", "", "result cache directory (implies -cache; default $XDG_CACHE_HOME/fxabench)")
 	flag.Parse()
+
+	if !contains(validExperiments, *exp) {
+		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(validExperiments, ", ")))
+	}
+	if !contains(validFormats, *format) {
+		fatal(fmt.Errorf("unknown format %q (valid: %s)", *format, strings.Join(validFormats, ", ")))
+	}
+
+	opts := fxa.SweepOptions{Workers: *workers}
+	if *useCache || *cacheDir != "" {
+		dir := *cacheDir
+		if dir == "" {
+			dir = defaultCacheDir()
+		}
+		cache, err := fxa.OpenSweepCache(dir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = cache
+	}
 
 	show := func(r renderable) {
 		switch *format {
@@ -47,21 +90,38 @@ func main() {
 		fmt.Println()
 	}
 
-	progress := func(stage string) func(...string) {
+	// progressOpts derives per-sweep engine options whose OnEvent
+	// callback rewrites one stderr status line. The engine delivers
+	// events from a single goroutine, so this is the only writer and
+	// "\r"-updates never interleave, regardless of -j.
+	progressOpts := func(stage string) fxa.SweepOptions {
+		o := opts
 		if *quiet {
-			return func(...string) {}
+			return o
 		}
-		return func(parts ...string) {
-			fmt.Fprintf(os.Stderr, "\r%-60s", stage+": "+strings.Join(parts, " on "))
+		o.OnEvent = func(e fxa.SweepEvent) {
+			if e.Kind != fxa.SweepEventDone {
+				return
+			}
+			suffix := ""
+			if e.CacheHit {
+				suffix = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "\r%-78s",
+				fmt.Sprintf("%s [%d/%d] %s%s", stage, e.Done, e.Total, e.Label, suffix))
 		}
+		return o
 	}
-	done := func() {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "\r%-60s\r", "")
+	done := func(stage string, stats fxa.SweepStats) {
+		if *quiet {
+			return
 		}
+		fmt.Fprintf(os.Stderr, "\r%-78s\r", "")
+		fmt.Fprintf(os.Stderr, "%s: %s\n", stage, stats)
 	}
 
 	wants := func(name string) bool { return *exp == "all" || *exp == name }
+	ctx := context.Background()
 
 	if wants("table1") {
 		show(fxa.Table1())
@@ -78,13 +138,13 @@ func main() {
 	}
 	var ev *fxa.Evaluation
 	if needSweep {
-		p := progress("main sweep")
 		var err error
-		ev, err = fxa.RunEvaluation(*n, func(w, m string) { p(w, m) })
-		done()
+		var stats fxa.SweepStats
+		ev, stats, err = fxa.RunEvaluationSweep(ctx, *n, progressOpts("main sweep"))
 		if err != nil {
 			fatal(err)
 		}
+		done("main sweep", stats)
 	}
 	if wants("fig7") {
 		show(ev.Figure7Table())
@@ -104,21 +164,19 @@ func main() {
 		show(ev.Figure10Table())
 	}
 	if wants("fig11") {
-		p := progress("figure 11 sweep")
-		s, err := fxa.RunFigure11(*n, func(l string) { p(l) })
-		done()
+		s, stats, err := fxa.RunFigure11Sweep(ctx, *n, progressOpts("figure 11 sweep"))
 		if err != nil {
 			fatal(err)
 		}
+		done("figure 11 sweep", stats)
 		show(s)
 	}
 	if wants("fig12") || wants("fig13") {
-		p := progress("figure 12/13 sweep")
-		f12, f13, err := fxa.RunFigure1213(*n, func(l string) { p(l) })
-		done()
+		f12, f13, stats, err := fxa.RunFigure1213Sweep(ctx, *n, progressOpts("figure 12/13 sweep"))
 		if err != nil {
 			fatal(err)
 		}
+		done("figure 12/13 sweep", stats)
 		if wants("fig12") {
 			show(f12)
 		}
@@ -129,6 +187,24 @@ func main() {
 	if wants("headline") {
 		printHeadline(ev)
 	}
+}
+
+// defaultCacheDir picks the per-user cache location, falling back to a
+// local directory when the platform offers none.
+func defaultCacheDir() string {
+	if base, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(base, "fxabench")
+	}
+	return ".fxabench-cache"
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // printHeadline reports the paper's summary numbers (Sections VI-C/D/G,

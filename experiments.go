@@ -1,11 +1,14 @@
 package fxa
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"fxa/internal/config"
 	"fxa/internal/energy"
+	"fxa/internal/sweep"
 )
 
 // EnergyBreakdown re-exports the per-component energy split.
@@ -44,31 +47,80 @@ type Evaluation struct {
 	Rows     []BenchResult
 }
 
+// simFingerprint is the cache identity of one (model, workload, maxInsts)
+// simulation: it embeds the complete model and workload configurations,
+// so any parameter change misses the result cache.
+type simFingerprint struct {
+	Kind     string // job family, so distinct job types never collide
+	Model    Model
+	Workload Workload
+	MaxInsts uint64
+}
+
+// runJob builds the sweep job for one (model, workload) evaluation cell.
+func runJob(m Model, w Workload, maxInsts uint64) sweep.Job {
+	return sweep.Job{
+		Label:       w.Name + "/" + m.Name,
+		Fingerprint: simFingerprint{Kind: "run", Model: m, Workload: w, MaxInsts: maxInsts},
+		Run: func(context.Context) (Result, error) {
+			return Run(m, w, maxInsts)
+		},
+	}
+}
+
 // RunEvaluation runs all 29 proxies on all five models for maxInsts
 // dynamic instructions each and estimates energies. progress, if non-nil,
 // is called after each (workload, model) run.
+//
+// RunEvaluation is the serial-compatible wrapper; RunEvaluationSweep is
+// the full engine entry point with parallelism, caching, cancellation
+// and run statistics. The two produce bit-identical evaluations.
 func RunEvaluation(maxInsts uint64, progress func(workload, model string)) (*Evaluation, error) {
+	opts := SweepOptions{Workers: 1}
+	if progress != nil {
+		opts.OnEvent = func(e sweep.Event) {
+			if e.Kind == sweep.EventDone && e.Err == nil {
+				w, m, _ := strings.Cut(e.Label, "/")
+				progress(w, m)
+			}
+		}
+	}
+	ev, _, err := RunEvaluationSweep(context.Background(), maxInsts, opts)
+	return ev, err
+}
+
+// RunEvaluationSweep runs the full Section VI evaluation matrix through
+// the sweep engine: every (workload, model) cell is an independent job
+// executed on a bounded worker pool, optionally answered from the result
+// cache. Rows are assembled in catalog order regardless of completion
+// order, so the evaluation is deterministic for any worker count.
+func RunEvaluationSweep(ctx context.Context, maxInsts uint64, opts SweepOptions) (*Evaluation, SweepStats, error) {
 	ev := &Evaluation{MaxInsts: maxInsts, Models: Models()}
-	for _, w := range Workloads() {
+	ws := Workloads()
+	jobs := make([]sweep.Job, 0, len(ws)*len(ev.Models))
+	for _, w := range ws {
+		for _, m := range ev.Models {
+			jobs = append(jobs, runJob(m, w, maxInsts))
+		}
+	}
+	results, stats, err := sweep.Run(ctx, jobs, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	for wi, w := range ws {
 		row := BenchResult{
 			Workload: w,
 			Res:      make(map[string]Result, len(ev.Models)),
 			Energy:   make(map[string]EnergyBreakdown, len(ev.Models)),
 		}
-		for _, m := range ev.Models {
-			res, err := Run(m, w, maxInsts)
-			if err != nil {
-				return nil, err
-			}
+		for mi, m := range ev.Models {
+			res := results[wi*len(ev.Models)+mi]
 			row.Res[m.Name] = res
 			row.Energy[m.Name] = EnergyOf(m, res)
-			if progress != nil {
-				progress(w.Name, m.Name)
-			}
 		}
 		ev.Rows = append(ev.Rows, row)
 	}
-	return ev, nil
+	return ev, stats, nil
 }
 
 // Group selects a benchmark-group slice of the evaluation.

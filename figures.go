@@ -1,6 +1,7 @@
 package fxa
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"fxa/internal/energy"
 	"fxa/internal/mem"
 	"fxa/internal/report"
+	"fxa/internal/sweep"
 )
 
 func ln(x float64) float64  { return math.Log(x) }
@@ -243,42 +245,97 @@ func Figure11Configs() []IXUConfigPoint {
 // RunFigure11 sweeps the IXU FU configuration with the full and the
 // optimized (distance-2) bypass network, reporting geometric-mean IPC over
 // all benchmarks relative to the [3,3,3]/full configuration (Figure 11).
+// It is the serial-compatible wrapper around RunFigure11Sweep.
 func RunFigure11(maxInsts uint64, progress func(label string)) (*report.Series, error) {
+	s, _, err := RunFigure11Sweep(context.Background(), maxInsts, sweepOptsWithLabels(progress))
+	return s, err
+}
+
+// sweepOptsWithLabels adapts the legacy per-run label callback onto the
+// engine's serialized event stream, on a single worker for strict serial
+// ordering.
+func sweepOptsWithLabels(progress func(label string)) SweepOptions {
+	opts := SweepOptions{Workers: 1}
+	if progress != nil {
+		opts.OnEvent = func(e sweep.Event) {
+			if e.Kind == sweep.EventDone && e.Err == nil {
+				progress(e.Label)
+			}
+		}
+	}
+	return opts
+}
+
+// RunFigure11Sweep is RunFigure11 through the sweep engine: one job per
+// (IXU variant, workload) pair, executed on a bounded worker pool with
+// optional result caching, assembled deterministically in sweep order.
+func RunFigure11Sweep(ctx context.Context, maxInsts uint64, opts SweepOptions) (*report.Series, SweepStats, error) {
 	s := &report.Series{
 		Title:   "Figure 11: IPC versus IXU configurations (relative to [3,3,3]/full)",
 		XLabel:  "IXU config",
 		Columns: []string{"full", "opt"},
 	}
-	var baseline float64
-	for _, pt := range Figure11Configs() {
-		var row []float64
+	type variant struct {
+		label string
+		model Model
+	}
+	pts := Figure11Configs()
+	var variants []variant
+	for _, pt := range pts {
 		for _, bypass := range []int{0, 2} { // 0 = full network, 2 = omit beyond 2 stages
 			m := HalfFX()
 			m.IXU.StageFUs = pt.StageFUs
 			m.IXU.BypassMaxDist = bypass
-			ipc, err := geomeanIPC(m, maxInsts)
+			variants = append(variants, variant{fmt.Sprintf("%s bypass=%d", pt.Label, bypass), m})
+		}
+	}
+	ws := Workloads()
+	jobs := make([]sweep.Job, 0, len(variants)*len(ws))
+	for _, v := range variants {
+		for _, w := range ws {
+			j := runJob(v.model, w, maxInsts)
+			j.Label = v.label + " " + w.Name
+			jobs = append(jobs, j)
+		}
+	}
+	results, stats, err := sweep.Run(ctx, jobs, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	var baseline float64
+	for pi, pt := range pts {
+		var row []float64
+		for b := 0; b < 2; b++ {
+			vi := pi*2 + b
+			_, ipc, err := groupGeomeans(ws, results[vi*len(ws):(vi+1)*len(ws)], GroupALL)
 			if err != nil {
-				return nil, err
+				return nil, stats, err
 			}
 			if baseline == 0 {
 				baseline = ipc // first point: [3,3,3] full
 			}
 			row = append(row, ipc/baseline)
-			if progress != nil {
-				progress(fmt.Sprintf("%s bypass=%d", pt.Label, bypass))
-			}
 		}
 		s.X = append(s.X, pt.Label)
 		s.Y = append(s.Y, row)
 	}
-	return s, nil
+	return s, stats, nil
 }
 
 // RunFigure1213 sweeps the IXU depth from 1 to 6 stages (3 FUs per stage,
 // full bypass — the unoptimized configuration of Section VI-H2) and
 // reports, per group: the fraction of instructions executed in the IXU
 // (Figure 12) and IPC relative to BIG (Figure 13).
+// RunFigure1213 is the serial-compatible wrapper around
+// RunFigure1213Sweep.
 func RunFigure1213(maxInsts uint64, progress func(label string)) (fig12, fig13 *report.Series, err error) {
+	fig12, fig13, _, err = RunFigure1213Sweep(context.Background(), maxInsts, sweepOptsWithLabels(progress))
+	return fig12, fig13, err
+}
+
+// RunFigure1213Sweep runs the Figures 12/13 depth sweep through the sweep
+// engine: one job per (depth variant or BIG baseline, workload) pair.
+func RunFigure1213Sweep(ctx context.Context, maxInsts uint64, opts SweepOptions) (fig12, fig13 *report.Series, stats SweepStats, err error) {
 	fig12 = &report.Series{
 		Title:   "Figure 12: Executed instructions rate in IXU versus IXU stages",
 		XLabel:  "stages",
@@ -289,26 +346,49 @@ func RunFigure1213(maxInsts uint64, progress func(label string)) (fig12, fig13 *
 		XLabel:  "stages",
 		Columns: []string{"INT", "FP", "ALL"},
 	}
-	bigIPC := map[Group]float64{}
-	for _, g := range []Group{GroupINT, GroupFP, GroupALL} {
-		v, err := geomeanGroupIPC(Big(), g, maxInsts)
-		if err != nil {
-			return nil, nil, err
-		}
-		bigIPC[g] = v
+	const maxDepth = 6
+	ws := Workloads()
+	// Job layout: BIG baseline over all workloads, then each depth
+	// variant over all workloads.
+	jobs := make([]sweep.Job, 0, (1+maxDepth)*len(ws))
+	for _, w := range ws {
+		j := runJob(Big(), w, maxInsts)
+		j.Label = "BIG " + w.Name
+		jobs = append(jobs, j)
 	}
-	for depth := 1; depth <= 6; depth++ {
+	for depth := 1; depth <= maxDepth; depth++ {
 		m := HalfFX()
 		m.IXU.StageFUs = make([]int, depth)
 		for i := range m.IXU.StageFUs {
 			m.IXU.StageFUs[i] = 3
 		}
 		m.IXU.BypassMaxDist = 0
+		for _, w := range ws {
+			j := runJob(m, w, maxInsts)
+			j.Label = fmt.Sprintf("depth %d %s", depth, w.Name)
+			jobs = append(jobs, j)
+		}
+	}
+	results, stats, err := sweep.Run(ctx, jobs, opts)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	groups := []Group{GroupINT, GroupFP, GroupALL}
+	bigIPC := map[Group]float64{}
+	for _, g := range groups {
+		_, v, err := groupGeomeans(ws, results[:len(ws)], g)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		bigIPC[g] = v
+	}
+	for depth := 1; depth <= maxDepth; depth++ {
+		slice := results[depth*len(ws) : (depth+1)*len(ws)]
 		var rates, ipcs []float64
-		for _, g := range []Group{GroupINT, GroupFP, GroupALL} {
-			rate, ipc, err := groupRateAndIPC(m, g, maxInsts)
+		for _, g := range groups {
+			rate, ipc, err := groupGeomeans(ws, slice, g)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, stats, err
 			}
 			rates = append(rates, rate)
 			ipcs = append(ipcs, ipc/bigIPC[g])
@@ -317,35 +397,21 @@ func RunFigure1213(maxInsts uint64, progress func(label string)) (fig12, fig13 *
 		fig12.Y = append(fig12.Y, rates)
 		fig13.X = append(fig13.X, fmt.Sprint(depth))
 		fig13.Y = append(fig13.Y, ipcs)
-		if progress != nil {
-			progress(fmt.Sprintf("depth %d", depth))
-		}
 	}
-	return fig12, fig13, nil
+	return fig12, fig13, stats, nil
 }
 
-func geomeanIPC(m Model, maxInsts uint64) (float64, error) {
-	return geomeanGroupIPC(m, GroupALL, maxInsts)
-}
-
-func geomeanGroupIPC(m Model, g Group, maxInsts uint64) (float64, error) {
-	_, ipc, err := groupRateAndIPC(m, g, maxInsts)
-	return ipc, err
-}
-
-// groupRateAndIPC runs model m over a benchmark group and returns the
-// geometric means of the IXU execution rate and the IPC.
-func groupRateAndIPC(m Model, g Group, maxInsts uint64) (rate, ipc float64, err error) {
+// groupGeomeans reduces one model's per-workload results (parallel to ws)
+// over a benchmark group: the geometric means of the IXU execution rate
+// (over workloads with a nonzero rate) and the IPC.
+func groupGeomeans(ws []Workload, results []Result, g Group) (rate, ipc float64, err error) {
 	logIPC, logRate := 0.0, 0.0
 	n, nr := 0, 0
-	for _, w := range Workloads() {
+	for i, w := range ws {
 		if !g.match(w) {
 			continue
 		}
-		res, err := Run(m, w, maxInsts)
-		if err != nil {
-			return 0, 0, err
-		}
+		res := results[i]
 		logIPC += ln(res.Counters.IPC())
 		n++
 		if r := res.Counters.IXURate(); r > 0 {

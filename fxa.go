@@ -23,8 +23,41 @@ import (
 	"fxa/internal/emu"
 	"fxa/internal/inorder"
 	"fxa/internal/sampling"
+	"fxa/internal/sweep"
 	"fxa/internal/workload"
 )
+
+// SweepOptions configures the simulation-orchestration engine used by
+// RunEvaluationSweep and the figure sweeps: worker-pool size, result
+// cache, error mode and the serialized progress-event callback. See
+// internal/sweep.
+type SweepOptions = sweep.Options
+
+// SweepStats reports one engine run: jobs run, cache hits/misses,
+// aggregate simulated instructions and throughput, and wall time.
+type SweepStats = sweep.Stats
+
+// SweepEvent is one serialized progress event; SweepOptions.OnEvent is
+// always invoked from a single goroutine.
+type SweepEvent = sweep.Event
+
+// SweepCache is the content-addressed on-disk result cache.
+type SweepCache = sweep.Cache
+
+// Re-exported sweep event kinds and error modes.
+const (
+	SweepEventStart = sweep.EventStart
+	SweepEventDone  = sweep.EventDone
+	SweepFailFast   = sweep.FailFast
+	SweepCollectAll = sweep.CollectAll
+)
+
+// OpenSweepCache opens (creating if needed) a simulation result cache
+// rooted at dir. Entries are keyed by a hash of the full model
+// configuration, the workload parameters, the instruction budget and the
+// simulator version (sweep.SimVersion), so any configuration or
+// simulator change invalidates them.
+func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.OpenCache(dir) }
 
 // Model is a processor configuration (a column of Table I).
 type Model = config.Model

@@ -1,0 +1,107 @@
+package emu
+
+import (
+	"testing"
+
+	"fxa/internal/asm"
+)
+
+// cloneProgram is a small loop that both computes in registers and
+// mutates memory, so divergence after cloning is detectable in either.
+const cloneProgram = `
+	li   r1, 2000       ; countdown
+	li   r2, 0          ; acc
+	lda  r3, buf
+loop:	add  r2, r2, r1
+	st   r2, 0(r3)
+	addi r3, r3, 8
+	addi r1, r1, -1
+	bne  r1, loop
+	halt
+	.org 0x8000
+buf:	.space 16384
+`
+
+func TestMachineCloneMatchesOriginal(t *testing.T) {
+	p := asm.MustAssemble(cloneProgram)
+	m := New(p)
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if c.PC != m.PC || c.InstCount != m.InstCount || c.Halt != m.Halt {
+		t.Fatalf("clone state differs: pc %#x/%#x insts %d/%d", c.PC, m.PC, c.InstCount, m.InstCount)
+	}
+	// Both must execute identically to halt.
+	for {
+		rm, okm, errm := m.Step()
+		rc, okc, errc := c.Step()
+		if errm != nil || errc != nil {
+			t.Fatalf("step errors: %v / %v", errm, errc)
+		}
+		if okm != okc || rm != rc {
+			t.Fatalf("clone diverged at inst %d: %+v vs %+v", m.InstCount, rm, rc)
+		}
+		if !okm {
+			break
+		}
+	}
+	if c.R != m.R || c.F != m.F {
+		t.Fatal("final register state differs between clone and original")
+	}
+}
+
+func TestMachineCloneIsIndependent(t *testing.T) {
+	p := asm.MustAssemble(cloneProgram)
+	m := New(p)
+	if _, err := m.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	snapPC, snapInsts := m.PC, m.InstCount
+	// probe: same page as earlier stores, but not yet written at the
+	// snapshot point — the clone will write it, the original must not
+	// observe that write.
+	const probe = 0x8800
+	if got := m.Mem.Read64(probe); got != 0 {
+		t.Fatalf("probe %#x already written at snapshot: %#x", probe, got)
+	}
+
+	// Drive the clone far ahead; the original must not move.
+	if _, err := c.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC != snapPC || m.InstCount != snapInsts {
+		t.Fatal("running the clone advanced the original machine")
+	}
+	if got := c.Mem.Read64(probe); got == 0 {
+		t.Fatalf("clone never reached probe %#x; test is vacuous", probe)
+	}
+	if got := m.Mem.Read64(probe); got != 0 {
+		t.Fatalf("clone writes leaked into original memory at %#x: %#x", probe, got)
+	}
+
+	// And the other direction: mutate the original, clone unaffected.
+	cMem := c.Mem.Read64(0x8000)
+	m.Mem.Write64(0x8000, 0xdeadbeef)
+	if got := c.Mem.Read64(0x8000); got != cMem {
+		t.Fatal("original writes leaked into clone memory")
+	}
+}
+
+func TestMemoryCloneDeepCopiesPages(t *testing.T) {
+	mem := NewMemory()
+	mem.Write64(0x1000, 42)
+	mem.Write64(0x100000, 99)
+	c := mem.Clone()
+	if c.Footprint() != mem.Footprint() {
+		t.Fatalf("footprint %d != %d", c.Footprint(), mem.Footprint())
+	}
+	c.Write64(0x1000, 7)
+	if got := mem.Read64(0x1000); got != 42 {
+		t.Fatalf("write to clone changed original: %d", got)
+	}
+	if got := c.Read64(0x100000); got != 99 {
+		t.Fatalf("clone lost data: %d", got)
+	}
+}

@@ -45,6 +45,29 @@ func New(p *asm.Program) *Machine {
 	return m
 }
 
+// Clone returns a deep, independent copy of the machine: registers, PC,
+// halt state, instruction count and a page-by-page copy of memory. The
+// clone executes independently of the original — the sampling harness
+// uses it to snapshot architectural state at a detailed-window boundary
+// so windows can be simulated in parallel while the functional machine
+// advances. The decode cache is copied (decoding is deterministic, so a
+// fresh map would also be correct, just colder).
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		R:           m.R,
+		F:           m.F,
+		PC:          m.PC,
+		Mem:         m.Mem.Clone(),
+		Halt:        m.Halt,
+		InstCount:   m.InstCount,
+		decodeCache: make(map[uint64]isa.Inst, len(m.decodeCache)),
+	}
+	for pc, in := range m.decodeCache {
+		c.decodeCache[pc] = in
+	}
+	return c
+}
+
 // Step executes one instruction and returns its Record. Executing past a
 // halt returns ok=false. Undefined opcodes return an error.
 func (m *Machine) Step() (Record, bool, error) {

@@ -122,3 +122,15 @@ func (m *Memory) WriteBytes(addr uint64, data []byte) {
 
 // Footprint returns the number of resident pages (for tests/statistics).
 func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory: every resident page is copied,
+// so writes to the clone never affect the original (and vice versa).
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint64]*[pageSize]byte, len(m.pages))}
+	for key, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[key] = cp
+	}
+	return c
+}

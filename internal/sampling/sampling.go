@@ -9,9 +9,17 @@
 // Each interval runs on a fresh core (cold caches and predictors), so very
 // short windows carry cold-start bias; the per-interval coefficient of
 // variation reported in the Summary makes that visible.
+//
+// Detailed windows are independent simulations once the architectural
+// state at their entry is known, so they run through the sweep engine
+// (internal/sweep): the functional machine advances serially, snapshots
+// itself (emu.Machine.Clone) at each window boundary, and the windows
+// simulate in parallel on a bounded worker pool. Results are assembled in
+// interval order, so the Summary is bit-identical for any worker count.
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,6 +28,7 @@ import (
 	"fxa/internal/emu"
 	"fxa/internal/inorder"
 	"fxa/internal/stats"
+	"fxa/internal/sweep"
 	"fxa/internal/workload"
 )
 
@@ -32,6 +41,9 @@ type Config struct {
 	IntervalInsts uint64
 	// SkipInsts is the functional fast-forward between windows.
 	SkipInsts uint64
+	// Workers bounds how many detailed windows simulate concurrently;
+	// <= 0 means GOMAXPROCS. The Summary is identical for any value.
+	Workers int
 }
 
 // Validate checks the schedule.
@@ -61,9 +73,11 @@ func (s *Summary) CoV() float64 {
 	return s.IPCStdDev / s.MeanIPC
 }
 
-// Run samples workload w on model m per cfg. The functional machine is
-// shared across intervals (architectural state advances continuously);
-// each detailed window runs on a fresh core.
+// Run samples workload w on model m per cfg. The functional machine
+// advances continuously (architectural state is shared across intervals);
+// each detailed window runs on a fresh core, simulated from a snapshot of
+// the machine at the window boundary so windows execute in parallel
+// through the sweep engine without changing the result.
 func Run(m config.Model, w workload.Params, cfg Config) (Summary, error) {
 	var sum Summary
 	if err := cfg.Validate(); err != nil {
@@ -74,6 +88,7 @@ func Run(m config.Model, w workload.Params, cfg Config) (Summary, error) {
 		return sum, err
 	}
 	machine := emu.New(prog)
+	var jobs []sweep.Job
 	for i := 0; i < cfg.Intervals; i++ {
 		if cfg.SkipInsts > 0 {
 			if _, err := machine.Run(cfg.SkipInsts); err != nil {
@@ -83,19 +98,41 @@ func Run(m config.Model, w workload.Params, cfg Config) (Summary, error) {
 		if machine.Halt {
 			break
 		}
-		stream := emu.NewStream(machine, machine.InstCount+cfg.IntervalInsts)
-		res, err := runOne(m, stream)
-		if err != nil {
+		// Snapshot the window-entry state for the detailed job, then
+		// advance the shared machine functionally through the window
+		// region (the emulator is deterministic, so the job's replay
+		// of the window on its clone follows the identical path).
+		snap := machine.Clone()
+		limit := machine.InstCount + cfg.IntervalInsts
+		jobs = append(jobs, sweep.Job{
+			Label: fmt.Sprintf("%s/%s window %d", w.Name, m.Name, i),
+			Run: func(context.Context) (core.Result, error) {
+				stream := emu.NewStream(snap, limit)
+				res, err := runOne(m, stream)
+				if err != nil {
+					return core.Result{}, err
+				}
+				if terr := stream.Err(); terr != nil {
+					return core.Result{}, terr
+				}
+				return res, nil
+			},
+		})
+		if _, err := machine.Run(cfg.IntervalInsts); err != nil {
 			return sum, err
 		}
-		if terr := stream.Err(); terr != nil {
-			return sum, terr
-		}
-		sum.PerInterval = append(sum.PerInterval, res)
-		sum.Aggregate.Add(&res.Counters)
 	}
-	if len(sum.PerInterval) == 0 {
+	if len(jobs) == 0 {
 		return sum, fmt.Errorf("sampling: workload halted before the first window")
+	}
+	results, _, err := sweep.Run(context.Background(), jobs,
+		sweep.Options{Workers: cfg.Workers})
+	if err != nil {
+		return sum, err
+	}
+	for i := range results {
+		sum.PerInterval = append(sum.PerInterval, results[i])
+		sum.Aggregate.Add(&results[i].Counters)
 	}
 	var total, totalSq float64
 	for _, r := range sum.PerInterval {

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"reflect"
 	"testing"
 
 	"fxa/internal/config"
@@ -67,5 +68,27 @@ func TestSamplingValidation(t *testing.T) {
 	}
 	if _, err := Run(config.Big(), w, Config{Intervals: 1, IntervalInsts: 0}); err == nil {
 		t.Error("zero window length must be rejected")
+	}
+}
+
+func TestParallelSamplingMatchesSerial(t *testing.T) {
+	w, _ := workload.ByName("hmmer")
+	cfg := Config{Intervals: 6, IntervalInsts: 8_000, SkipInsts: 12_000}
+
+	cfg.Workers = 1
+	serial, err := Run(config.HalfFX(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Run(config.HalfFX(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel sampling differs from serial sampling")
+	}
+	if len(serial.PerInterval) != 6 {
+		t.Fatalf("got %d intervals, want 6", len(serial.PerInterval))
 	}
 }

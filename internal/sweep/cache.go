@@ -1,0 +1,133 @@
+// Content-addressed on-disk result cache.
+//
+// A cache entry is one JSON-encoded core.Result stored under
+// <dir>/<sha256>.json, where the hash covers the canonical JSON encoding
+// of {SimVersion, job fingerprint}. The fingerprint is whatever the job
+// submitter chose — for the evaluation matrix it is the full model
+// configuration, the workload parameters and the instruction budget — so
+// any change to the simulated configuration changes the key and misses
+// the cache. Changes to the timing model itself are invalidated by
+// bumping SimVersion.
+//
+// Writes are atomic (temp file + rename) and the cache is safe for
+// concurrent use by the worker pool: every key maps to an independent
+// file, and concurrent writers of the same key race benignly to identical
+// contents. Corrupt or unreadable entries behave as misses.
+
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fxa/internal/core"
+)
+
+// SimVersion identifies the timing/energy-model generation baked into the
+// cache key. Bump it whenever a change to the simulator can alter the
+// Result of an unchanged (model, workload, maxInsts) job, so stale
+// entries are never returned.
+const SimVersion = 1
+
+// Key hashes a job fingerprint (plus SimVersion) into the cache key: a
+// lowercase hex SHA-256 of the canonical JSON encoding. Fingerprints must
+// be JSON-serializable and deterministic (structs of plain data; avoid
+// maps with nondeterministic iteration — json.Marshal sorts map keys, so
+// even those are safe).
+func Key(fingerprint any) (string, error) {
+	payload := struct {
+		SimVersion  int
+		Fingerprint any
+	}{SimVersion, fingerprint}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("sweep: marshal fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Cache is a content-addressed on-disk result store.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a result cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its entry file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached Result for key, if present and decodable.
+func (c *Cache) Get(key string) (core.Result, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return core.Result{}, false
+	}
+	var res core.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		// Corrupt entry: drop it and treat as a miss.
+		_ = os.Remove(c.path(key))
+		return core.Result{}, false
+	}
+	return res, true
+}
+
+// Put stores res under key atomically.
+func (c *Cache) Put(key string, res core.Result) error {
+	b, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep: encode result: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of entries currently stored.
+func (c *Cache) Len() (int, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,46 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats summarize one engine run: how much work was done, how much the
+// cache saved, and the aggregate simulation throughput.
+type Stats struct {
+	Jobs        int           // jobs submitted
+	Ran         int           // jobs actually simulated (cache misses that succeeded)
+	CacheHits   int           // jobs answered from the result cache
+	CacheMisses int           // jobs that had to simulate (== Ran on success)
+	Errors      int           // jobs that failed (panic, error, or cancellation)
+	Workers     int           // worker-pool size used
+	SimInsts    uint64        // committed instructions across all simulated jobs
+	SimCycles   uint64        // simulated cycles across all simulated jobs
+	Wall        time.Duration // wall-clock time of the whole run
+}
+
+// InstsPerSec returns the aggregate simulation throughput in committed
+// instructions per wall-clock second (0 when nothing ran).
+func (s Stats) InstsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.SimInsts) / s.Wall.Seconds()
+}
+
+// String renders a one-line human-readable summary, e.g.
+//
+//	145 jobs in 2.31s (8 workers): 140 run, 5 cache hits, 42.0 Minst, 18.2 Minst/s
+func (s Stats) String() string {
+	line := fmt.Sprintf("%d jobs in %s (%d workers): %d run, %d cache hit",
+		s.Jobs, s.Wall.Round(10*time.Millisecond), s.Workers, s.Ran, s.CacheHits)
+	if s.CacheHits != 1 {
+		line += "s"
+	}
+	line += fmt.Sprintf(", %.1f Minst, %.1f Minst/s",
+		float64(s.SimInsts)/1e6, s.InstsPerSec()/1e6)
+	if s.Errors > 0 {
+		line += fmt.Sprintf(", %d errors", s.Errors)
+	}
+	return line
+}
