@@ -2,8 +2,11 @@
 #
 #   make tier1   build + vet + full test suite + race check of the
 #                concurrent packages (the sweep engine and its users)
+#   make check   alias for the same chain — the pre-merge gate
 #   make race    only the scoped race check
-#   make bench   the repo's benchmark suite
+#   make bench   hot-loop benchmarks, -benchmem -count=5 (benchstat-ready)
+#   make bench-figures  one pass over the table/figure benchmarks
+#   make fuzz    short run of the core's random-flush fuzzer
 
 GO ?= go
 
@@ -12,9 +15,13 @@ GO ?= go
 # package's multi-worker determinism tests run under race in race-full.)
 RACE_PKGS = ./internal/sweep ./internal/sampling
 
-.PHONY: tier1 build vet test race race-full bench
+.PHONY: tier1 check build vet test race race-full bench bench-figures fuzz
 
 tier1: build vet test race
+
+# check is the pre-merge gate: identical to tier1, named for CI muscle
+# memory.
+check: tier1
 
 build:
 	$(GO) build ./...
@@ -33,5 +40,20 @@ race:
 race-full: race
 	$(GO) test -race -run 'TestParallel|TestEvaluationCache|TestFigureSweepsDeterministic' .
 
+# Hot-loop benchmarks with allocation accounting. Five repetitions so
+# `benchstat old.txt new.txt` gets a distribution; the ns/inst and
+# allocs/op columns are the regression signals for the allocation
+# discipline documented in DESIGN.md §8.2.
 bench:
+	$(GO) test -bench 'BenchmarkCore' -benchmem -count=5 -run '^$$' ./internal/core
+
+# One pass over the table/figure reproduction benchmarks (the original
+# `make bench`).
+bench-figures:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Short run of the native fuzzer over random flush points (the seed
+# corpus — mid-IXU squash, LQ/SQ partial squash, MSHR exhaustion, RENO
+# squash — always runs as part of `make test` via TestFuzzRandomFlush).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzRandomFlush -fuzztime 30s ./internal/core

@@ -6,6 +6,13 @@
 //	fxabench [-n insts] [-j workers] [-cache] [-cachedir dir]
 //	         [-experiment all|table1|table2|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|headline]
 //	         [-format text|csv|markdown] [-q]
+//	         [-cpuprofile file] [-memprofile file]
+//
+// With -cpuprofile the whole invocation is profiled; with -memprofile an
+// allocation profile ("allocs", cumulative since process start) is written
+// at exit. Both feed `go tool pprof` and exist to keep the simulator's
+// hot-loop allocation discipline observable (see DESIGN.md §8.2). Sweep
+// progress lines additionally report allocs/Kinst.
 //
 // The main sweep (figures 7, 8a, 8b, 10 and the headline numbers) runs
 // every SPEC CPU 2006 proxy on every model once and derives all views from
@@ -26,11 +33,24 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fxa"
 	"fxa/internal/energy"
 )
+
+// exitHooks run before any process exit (normal return or fatal), because
+// os.Exit skips deferred calls; profile writers register here.
+var exitHooks []func()
+
+func runExitHooks() {
+	for i := len(exitHooks) - 1; i >= 0; i-- {
+		exitHooks[i]()
+	}
+	exitHooks = nil
+}
 
 // renderable is anything the report package can emit in all formats.
 type renderable interface {
@@ -56,6 +76,8 @@ func main() {
 	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 	useCache := flag.Bool("cache", false, "cache simulation results on disk and reuse them")
 	cacheDir := flag.String("cachedir", "", "result cache directory (implies -cache; default $XDG_CACHE_HOME/fxabench)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	if !contains(validExperiments, *exp) {
@@ -64,6 +86,36 @@ func main() {
 	if !contains(validFormats, *format) {
 		fatal(fmt.Errorf("unknown format %q (valid: %s)", *format, strings.Join(validFormats, ", ")))
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		exitHooks = append(exitHooks, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		exitHooks = append(exitHooks, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fxabench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "fxabench: memprofile:", err)
+			}
+		})
+	}
+	defer runExitHooks()
 
 	opts := fxa.SweepOptions{Workers: *workers}
 	if *useCache || *cacheDir != "" {
@@ -241,6 +293,7 @@ func printHeadline(ev *fxa.Evaluation) {
 }
 
 func fatal(err error) {
+	runExitHooks()
 	fmt.Fprintln(os.Stderr, "fxabench:", err)
 	os.Exit(1)
 }

@@ -99,11 +99,15 @@ func (co *Core) issue() {
 		}
 	}
 	if removed {
+		n := len(co.iq)
 		keep := co.iq[:0]
 		for _, u := range co.iq {
 			if u.inIQ {
 				keep = append(keep, u)
 			}
+		}
+		for i := len(keep); i < n; i++ {
+			co.iq[i] = nil // recycled uops must not linger in vacated slots
 		}
 		co.iq = keep
 	}
@@ -123,8 +127,8 @@ func overlap(a, b uint64) bool { return a>>3 == b>>3 }
 func (co *Core) execLoad(u *uop, inIXU bool) int {
 	co.c.SQSearches++
 	forwarded := false
-	for i := len(co.sq) - 1; i >= 0; i-- {
-		st := co.sq[i]
+	for i := co.sq.Len() - 1; i >= 0; i-- {
+		st := co.sq.At(i)
 		if st.rec.Seq < u.rec.Seq && st.executed && overlap(st.ea, u.ea) {
 			forwarded = true
 			break
@@ -156,7 +160,8 @@ func (co *Core) execLoad(u *uop, inIXU bool) int {
 	}
 
 	allOlderStoresDone := true
-	for _, st := range co.sq {
+	for i := 0; i < co.sq.Len(); i++ {
+		st := co.sq.At(i)
 		if st.rec.Seq < u.rec.Seq && !st.executed {
 			allOlderStoresDone = false
 			break
@@ -184,7 +189,8 @@ func (co *Core) execStore(u *uop, inIXU bool) (uint64, bool) {
 		return 0, false
 	}
 	co.c.LQSearches++
-	for _, ld := range co.lq { // program order: first match is the oldest
+	for i := 0; i < co.lq.Len(); i++ { // program order: first match is the oldest
+		ld := co.lq.At(i)
 		if ld.rec.Seq > u.rec.Seq && ld.lqWritten && ld.executed && overlap(ld.ea, u.ea) {
 			co.c.MemViolations++
 			co.ss.Violation(ld.rec.PC, u.rec.PC)
@@ -198,22 +204,22 @@ func (co *Core) execStore(u *uop, inIXU bool) (uint64, bool) {
 // order, releasing their resources. Stores write the data cache here
 // (Section II-D, footnote 4).
 func (co *Core) commit() {
-	for n := 0; n < co.cfg.CommitWidth && len(co.rob) > 0; n++ {
-		u := co.rob[0]
+	for n := 0; n < co.cfg.CommitWidth && co.rob.Len() > 0; n++ {
+		u := co.rob.At(0)
 		if !u.executed || u.resultCycle > co.cycle {
 			return
 		}
 		if u.executedInIXU && u.prfCycle > co.cycle {
 			return // still in the IXU pipeline
 		}
-		co.rob = co.rob[1:]
+		co.rob.PopFront()
 		co.traceStage(u, "Cm")
 		co.traceRetire(u, false)
 		if u.isLoad() {
-			co.lq = co.lq[1:]
+			co.lq.PopFront()
 		}
 		if u.isStore() {
-			co.sq = co.sq[1:]
+			co.sq.PopFront()
 			co.mem.DataWrite(u.ea)
 		}
 		if !u.renoElim {
@@ -238,5 +244,12 @@ func (co *Core) commit() {
 			co.c.OXUExec++
 		}
 		co.lastCommit = co.cycle
+
+		// Release outgoing references and the pipeline-residency
+		// reference. The uop itself is only recycled once nothing else
+		// (RAT entry, younger consumers' srcs, store-set edges) still
+		// points at it — see pool.go.
+		co.dropRefs(u)
+		co.unref(u)
 	}
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fxa/internal/config"
+	"fxa/internal/workload"
+)
+
+// benchRun simulates insts dynamic instructions of workload w on model m,
+// reporting ns and allocations per simulated instruction. This is the
+// per-cycle hot-loop benchmark guarding the allocation discipline of
+// DESIGN.md §8.2: run it with
+//
+//	go test -bench BenchmarkCore -benchmem ./internal/core
+//
+// and watch the `allocs/op` column (op = one full simulation of `insts`
+// instructions). The steady-state loop must not allocate, so allocs/op
+// should stay flat when `insts` grows.
+func benchRun(b *testing.B, m config.Model, name string, insts uint64) {
+	b.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown workload %q", name)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr, err := w.NewTrace(insts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		co, err := New(m, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := co.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += res.Counters.Committed
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(committed), "ns/inst")
+}
+
+// BenchmarkCoreHotLoop measures the cycle-level timing model itself (trace
+// generation and core construction excluded from the timer) on one INT and
+// one FP workload for the conventional BIG core and the FXA HALF+FX core.
+func BenchmarkCoreHotLoop(b *testing.B) {
+	const insts = 60_000
+	for _, tc := range []struct {
+		model config.Model
+		work  string
+	}{
+		{config.Big(), "libquantum"},
+		{config.Big(), "mcf"},
+		{config.HalfFX(), "libquantum"},
+		{config.HalfFX(), "mcf"},
+		{config.HalfFX(), "namd"},
+	} {
+		b.Run(fmt.Sprintf("%s/%s", tc.model.Name, tc.work), func(b *testing.B) {
+			benchRun(b, tc.model, tc.work, insts)
+		})
+	}
+}
+
+// BenchmarkCoreFlushHeavy stresses flushFrom: bsearch-like pointer loads
+// with stores that trigger memory-order violations and replays.
+func BenchmarkCoreFlushHeavy(b *testing.B) {
+	benchRun(b, config.HalfFX(), "bzip2", 60_000)
+}

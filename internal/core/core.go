@@ -68,30 +68,39 @@ type Core struct {
 
 	// Fetch state.
 	replay     []emu.Record // flushed records awaiting re-fetch, in order
+	replayHead int          // consumption index into replay (no reslicing)
+	flushRecs  []emu.Record // scratch for flushFrom's squashed-record walk
 	fetchStall int64        // fetch allowed when cycle >= fetchStall
 	blockingBr *uop         // unresolved mispredicted branch gating fetch
 	blockStart int64        // cycle fetch became blocked (for wrong-path accounting)
 	lastLine   uint64       // last I-cache line fetched (+1 so 0 means none)
 	traceDone  bool
-	pendingRec *emu.Record // record fetched from trace but not yet issued to pipeline
+	pendingRec emu.Record // record fetched from trace but not yet issued to pipeline
+	hasPending bool
 
 	// Front-end delay line: fetched uops waiting to reach rename.
-	feQueue []*uop
+	feQueue uopRing
 
 	// Rename state.
 	rat      [2][isa.NumIntRegs]*uop // last in-flight producer per arch reg
 	intInUse int                     // physical int registers held by in-flight uops
 	fpInUse  int
+	srcBuf   [3]isa.Reg // scratch for Inst.Srcs (keeps rename allocation-free)
 
 	// IXU pipeline: stage 0 is the entry stage. nil-padded slots.
 	ixu [][]*uop
 
 	// OXU.
-	iq  []*uop
-	rob []*uop // program order
+	iq  []*uop  // capacity pinned to IQEntries
+	rob uopRing // program order
 
-	lq []*uop
-	sq []*uop
+	lq uopRing
+	sq uopRing
+
+	// pool is the uop free list; uopLive counts instances currently out
+	// of it (see pool.go).
+	pool    []*uop
+	uopLive int
 
 	intFU []int64 // busy-until cycle per FU
 	memFU []int64
@@ -135,6 +144,13 @@ func New(cfg config.Model, trace Trace) (*Core, error) {
 		memFU: make([]int64, cfg.MemFUs),
 		fpFU:  make([]int64, cfg.FPFUs),
 	}
+	// Capacity-pinned in-flight structures: sized once here so the hot
+	// loop never grows them (DESIGN.md §8.2).
+	co.rob = newUopRing(cfg.ROBEntries)
+	co.lq = newUopRing(cfg.LQEntries)
+	co.sq = newUopRing(cfg.SQEntries)
+	co.feQueue = newUopRing((int(co.frontDepth()) + 2) * cfg.FetchWidth)
+	co.iq = make([]*uop, 0, cfg.IQEntries)
 	if cfg.FX {
 		co.ixu = make([][]*uop, cfg.IXU.Stages())
 		for i := range co.ixu {
@@ -174,12 +190,13 @@ func (co *Core) Run() (Result, error) {
 		if co.debug != nil {
 			co.debug()
 		}
-		if co.traceDone && len(co.rob) == 0 && len(co.feQueue) == 0 && co.ixuEmpty() && len(co.replay) == 0 && co.pendingRec == nil {
+		if co.traceDone && co.rob.Len() == 0 && co.feQueue.Len() == 0 && co.ixuEmpty() &&
+			co.replayHead == len(co.replay) && !co.hasPending {
 			break
 		}
 		if co.cycle-co.lastCommit > deadlockWindow {
 			return Result{}, fmt.Errorf("core: %s deadlocked at cycle %d (rob=%d iq=%d fe=%d)",
-				co.cfg.Name, co.cycle, len(co.rob), len(co.iq), len(co.feQueue))
+				co.cfg.Name, co.cycle, co.rob.Len(), len(co.iq), co.feQueue.Len())
 		}
 	}
 	co.c.Cycles = uint64(co.cycle)
@@ -208,109 +225,127 @@ func (co *Core) ixuEmpty() bool {
 // flushFrom squashes every in-flight uop at or younger than seq (program
 // order) and queues their records for re-fetch. Used for memory-order
 // violation recovery.
+//
+// In-flight sequence numbers are unique (a replayed instruction is a fresh
+// uop carrying the same record), so `rec.Seq >= seq` is the squash
+// predicate everywhere and the seed implementation's per-flush
+// map[*uop]bool is gone. The squashed records accumulate into the reusable
+// co.flushRecs scratch, which is then swapped with the replay buffer, so a
+// steady stream of violations performs no per-flush heap work.
 func (co *Core) flushFrom(seq uint64, when int64) {
 	co.c.Replays++
 
 	// Collect squashed records in program order: ROB suffix, then the
 	// IXU contents, then the front-end queue (all younger than the ROB).
-	var recs []emu.Record
-	cut := len(co.rob)
-	for i, u := range co.rob {
-		if u.rec.Seq >= seq {
+	recs := co.flushRecs[:0]
+	cut := co.rob.Len()
+	for i := 0; i < co.rob.Len(); i++ {
+		if co.rob.At(i).rec.Seq >= seq {
 			cut = i
 			break
 		}
 	}
-	for _, u := range co.rob[cut:] {
+	for i := cut; i < co.rob.Len(); i++ {
+		u := co.rob.At(i)
 		recs = append(recs, u.rec)
-	}
-	squashed := make(map[*uop]bool, len(co.rob)-cut+8)
-	for _, u := range co.rob[cut:] {
-		squashed[u] = true
 		co.releaseDest(u)
 		co.traceRetire(u, true)
 	}
-	co.rob = co.rob[:cut]
+
+	// A squashed mispredicted branch no longer gates fetch. (Checked
+	// before any uop is released below, while the pointer is still live.)
+	if co.blockingBr != nil && co.blockingBr.rec.Seq >= seq {
+		co.blockingBr = nil
+	}
 
 	// IXU stages hold uops that are renamed (in the ROB already), so they
 	// are covered by the ROB walk; just clear them from the stages.
 	for s := range co.ixu {
-		keep := co.ixu[s][:0]
-		for _, u := range co.ixu[s] {
-			if !squashed[u] {
-				keep = append(keep, u)
+		st := co.ixu[s]
+		w := 0
+		for _, u := range st {
+			if u.rec.Seq < seq {
+				st[w] = u
+				w++
 			}
 		}
-		co.ixu[s] = keep
+		for i := w; i < len(st); i++ {
+			st[i] = nil
+		}
+		co.ixu[s] = st[:w]
 	}
 
-	// Front-end queue uops are younger than everything renamed.
-	for _, u := range co.feQueue {
+	// Front-end queue uops are younger than everything renamed; a squashed
+	// one holds only its pipeline-residency reference (it was never
+	// renamed), so it goes back to the pool right here.
+	wFE := 0
+	for i := 0; i < co.feQueue.Len(); i++ {
+		u := co.feQueue.At(i)
 		if u.rec.Seq >= seq {
 			recs = append(recs, u.rec)
-			squashed[u] = true
 			co.traceRetire(u, true)
+			co.dropRefs(u)
+			co.unref(u)
+		} else {
+			co.feQueue.set(wFE, u)
+			wFE++
 		}
 	}
-	keepFE := co.feQueue[:0]
-	for _, u := range co.feQueue {
-		if !squashed[u] {
-			keepFE = append(keepFE, u)
-		}
-	}
-	co.feQueue = keepFE
+	co.feQueue.Truncate(wFE)
 
 	// IQ.
+	nIQ := len(co.iq)
 	keepIQ := co.iq[:0]
 	for _, u := range co.iq {
-		if !squashed[u] {
+		if u.rec.Seq < seq {
 			keepIQ = append(keepIQ, u)
 		}
+	}
+	for i := len(keepIQ); i < nIQ; i++ {
+		co.iq[i] = nil
 	}
 	co.iq = keepIQ
 
 	// LSQ.
-	keepLQ := co.lq[:0]
-	for _, u := range co.lq {
-		if !squashed[u] {
-			keepLQ = append(keepLQ, u)
-		}
-	}
-	co.lq = keepLQ
-	keepSQ := co.sq[:0]
-	for _, u := range co.sq {
-		if !squashed[u] {
-			keepSQ = append(keepSQ, u)
-		}
-	}
-	co.sq = keepSQ
+	co.lq.DropFromSeq(seq)
+	co.sq.DropFromSeq(seq)
 
 	// Rebuild the RAT from the surviving window. An eliminated move maps
 	// its destination back to the aliased producer, not to itself.
-	co.rat = [2][isa.NumIntRegs]*uop{}
-	for _, u := range co.rob {
+	co.clearRAT()
+	for i := 0; i < cut; i++ {
+		u := co.rob.At(i)
 		if u.hasDst {
 			if u.renoElim {
-				co.rat[u.dst.File][u.dst.Index] = u.srcs[0]
+				co.setRAT(u.dst.File, u.dst.Index, u.srcs[0])
 			} else {
-				co.rat[u.dst.File][u.dst.Index] = u
+				co.setRAT(u.dst.File, u.dst.Index, u)
 			}
 		}
 	}
 
-	// A squashed mispredicted branch no longer gates fetch.
-	if co.blockingBr != nil && squashed[co.blockingBr] {
-		co.blockingBr = nil
+	// Release the squashed ROB suffix last, after every structure that
+	// aliased those instances has been purged.
+	for i := cut; i < co.rob.Len(); i++ {
+		u := co.rob.At(i)
+		co.dropRefs(u)
+		co.unref(u)
 	}
+	co.rob.Truncate(cut)
 
 	co.c.ReplayedUops += uint64(len(recs))
 	// Not-yet-fetched records (a stalled fetch, earlier replays) are all
-	// younger than the squashed window; keep program order.
-	if co.pendingRec != nil {
-		recs = append(recs, *co.pendingRec)
-		co.pendingRec = nil
+	// younger than the squashed window; keep program order by appending
+	// them after the squashed records, then swap scratch and replay
+	// buffers so the next flush reuses the old replay backing.
+	if co.hasPending {
+		recs = append(recs, co.pendingRec)
+		co.hasPending = false
 	}
-	co.replay = append(recs, co.replay...)
+	recs = append(recs, co.replay[co.replayHead:]...)
+	co.flushRecs = co.replay[:0]
+	co.replay = recs
+	co.replayHead = 0
 	co.lastLine = 0 // refetch the line after the redirect
 	resume := when + int64(co.cfg.RedirectLatency) + violationRecovery
 	if resume > co.fetchStall {

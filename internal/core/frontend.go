@@ -10,14 +10,21 @@ import (
 // nextRec returns the next record to fetch: a previously stalled record,
 // then replayed (flushed) records, then the live trace.
 func (co *Core) nextRec() (emu.Record, bool) {
-	if co.pendingRec != nil {
-		r := *co.pendingRec
-		co.pendingRec = nil
-		return r, true
+	if co.hasPending {
+		co.hasPending = false
+		return co.pendingRec, true
 	}
-	if len(co.replay) > 0 {
-		r := co.replay[0]
-		co.replay = co.replay[1:]
+	if co.replayHead < len(co.replay) {
+		r := co.replay[co.replayHead]
+		co.replayHead++
+		if co.replayHead == len(co.replay) {
+			// Fully consumed: reset so the buffer is reusable by the next
+			// flush without reallocating (the head index replaces the seed
+			// implementation's `replay = replay[1:]` reslicing, which made
+			// the backing array unrecoverable).
+			co.replay = co.replay[:0]
+			co.replayHead = 0
+		}
 		return r, true
 	}
 	if co.traceDone {
@@ -30,10 +37,12 @@ func (co *Core) nextRec() (emu.Record, bool) {
 	return r, ok
 }
 
-// ungetRec pushes a record back so the next fetch cycle retries it.
+// ungetRec pushes a record back so the next fetch cycle retries it. The
+// record is stored by value: the seed implementation heap-boxed it
+// (`co.pendingRec = &rec`), one allocation per I-cache miss.
 func (co *Core) ungetRec(r emu.Record) {
-	rec := r
-	co.pendingRec = &rec
+	co.pendingRec = r
+	co.hasPending = true
 }
 
 const lineShift = 6 // 64-byte fetch lines
@@ -49,7 +58,7 @@ func (co *Core) fetch() {
 	// renamed instructions (the decode/rename pipeline plus a small fetch
 	// buffer).
 	capFE := (int(co.frontDepth()) + 2) * co.cfg.FetchWidth
-	for n := 0; n < co.cfg.FetchWidth && len(co.feQueue) < capFE; n++ {
+	for n := 0; n < co.cfg.FetchWidth && co.feQueue.Len() < capFE; n++ {
 		rec, ok := co.nextRec()
 		if !ok {
 			return
@@ -69,7 +78,7 @@ func (co *Core) fetch() {
 			}
 		}
 
-		u := newUop(rec, co.cycle)
+		u := co.allocUop(rec, co.cycle)
 		in := rec.Inst
 		if in.IsBranch() {
 			co.c.Branches++
@@ -113,7 +122,7 @@ func (co *Core) fetch() {
 		}
 
 		co.traceStart(u)
-		co.feQueue = append(co.feQueue, u)
+		co.feQueue.PushBack(u)
 		co.c.FetchedInsts++
 		co.c.DecodeOps++
 		if u.mispredict {
@@ -130,13 +139,13 @@ func (co *Core) fetch() {
 // scoreboard+PRF read and IXU entry (for conventional models, dispatch
 // straight into the IQ).
 func (co *Core) rename() {
-	for n := 0; n < co.cfg.FetchWidth && len(co.feQueue) > 0; n++ {
-		u := co.feQueue[0]
+	for n := 0; n < co.cfg.FetchWidth && co.feQueue.Len() > 0; n++ {
+		u := co.feQueue.At(0)
 		if co.cycle < u.fetchCycle+co.frontDepth() {
 			return // still in the decode pipeline
 		}
 		// Structural resources.
-		if len(co.rob) >= co.cfg.ROBEntries {
+		if co.rob.Len() >= co.cfg.ROBEntries {
 			return
 		}
 		if u.hasDst {
@@ -148,10 +157,10 @@ func (co *Core) rename() {
 				return
 			}
 		}
-		if u.isLoad() && len(co.lq) >= co.cfg.LQEntries {
+		if u.isLoad() && co.lq.Len() >= co.cfg.LQEntries {
 			return
 		}
-		if u.isStore() && len(co.sq) >= co.cfg.SQEntries {
+		if u.isStore() && co.sq.Len() >= co.cfg.SQEntries {
 			return
 		}
 		if co.cfg.FX {
@@ -162,15 +171,19 @@ func (co *Core) rename() {
 			return
 		}
 
-		co.feQueue = co.feQueue[1:]
+		co.feQueue.PopFront()
 		u.renameCycle = co.cycle
 		co.traceStage(u, "Rn")
 
-		// RAT.
-		srcs := u.srcRegs()
+		// RAT. Each source pointer takes a reference on its producer so
+		// the pool cannot recycle it while this consumer may still read
+		// its timestamps (pool.go).
+		srcs := u.rec.Inst.Srcs(co.srcBuf[:0])
 		co.c.RATReads += uint64(len(srcs))
 		for i, r := range srcs {
-			u.srcs[i] = co.rat[r.File][r.Index]
+			p := co.rat[r.File][r.Index]
+			u.srcs[i] = p
+			co.ref(p)
 		}
 
 		// RENO move elimination: a register move (addi rd, ra, 0) or a
@@ -180,28 +193,28 @@ func (co *Core) rename() {
 		if co.cfg.RENO && u.hasDst && u.rec.Inst.Op == isa.OpAddi && u.rec.Inst.Imm == 0 &&
 			u.dst.File == isa.IntFile {
 			u.renoElim = true
-			var alias *uop
-			if u.rec.Inst.Ra != isa.ZeroReg {
-				alias = co.rat[isa.IntFile][u.rec.Inst.Ra]
-			}
-			u.srcs[0] = alias
+			// The generic RAT lookup above already stored Ra's producer
+			// (or nil for the zero register) in srcs[0] with a reference
+			// held, so the alias is read back from there rather than
+			// re-looked-up — dropRefs releases it when u leaves.
+			alias := u.srcs[0]
 			u.nsrc = 0 // no operands to wait for
-			co.rat[u.dst.File][u.dst.Index] = alias
+			co.setRAT(u.dst.File, u.dst.Index, alias)
 			co.c.RATWrites++
 			co.c.RenoEliminated++
 			u.executed = true
 			u.execCycle = co.cycle
 			u.resultCycle = co.cycle
 			u.prfCycle = co.cycle
-			u.robIdx = len(co.rob)
-			co.rob = append(co.rob, u)
+			u.robIdx = co.rob.Len()
+			co.rob.PushBack(u)
 			co.c.ROBWrites++
 			co.traceStage(u, "Cm")
 			continue
 		}
 
 		if u.hasDst {
-			co.rat[u.dst.File][u.dst.Index] = u
+			co.setRAT(u.dst.File, u.dst.Index, u)
 			co.c.RATWrites++
 			if u.dst.File == isa.IntFile {
 				co.intInUse++
@@ -211,26 +224,28 @@ func (co *Core) rename() {
 		}
 
 		// ROB.
-		u.robIdx = len(co.rob)
-		co.rob = append(co.rob, u)
+		u.robIdx = co.rob.Len()
+		co.rob.PushBack(u)
 		co.c.ROBWrites++
 
 		// LSQ allocation and memory-dependence prediction.
 		if u.isLoad() {
-			u.lqIdx = len(co.lq)
-			co.lq = append(co.lq, u)
+			u.lqIdx = co.lq.Len()
+			co.lq.PushBack(u)
 			if storeSeq, wait := co.ss.LoadLookup(u.rec.PC); wait {
-				for _, st := range co.sq {
+				for i := 0; i < co.sq.Len(); i++ {
+					st := co.sq.At(i)
 					if st.rec.Seq == storeSeq && !st.executed {
 						u.depStore = st
+						co.ref(st)
 						break
 					}
 				}
 			}
 		}
 		if u.isStore() {
-			u.sqIdx = len(co.sq)
-			co.sq = append(co.sq, u)
+			u.sqIdx = co.sq.Len()
+			co.sq.PushBack(u)
 			co.ss.StoreRename(u.rec.PC, u.rec.Seq)
 		}
 
@@ -364,8 +379,14 @@ func (co *Core) ixuStep() {
 		drained++
 	}
 	if drained > 0 {
-		remaining := append(exit[:0:0], exit[drained:]...)
-		co.ixu[nStages-1] = append(exit[:0], remaining...)
+		// In-place compaction: the seed implementation copied the
+		// remainder through a fresh slice (`append(exit[:0:0], ...)`),
+		// one allocation per drain cycle.
+		n := copy(exit, exit[drained:])
+		for i := n; i < len(exit); i++ {
+			exit[i] = nil
+		}
+		co.ixu[nStages-1] = exit[:n]
 	}
 
 	// Shift stages toward the exit wherever the next stage is free.
@@ -374,7 +395,9 @@ func (co *Core) ixuStep() {
 			co.ixu[s], co.ixu[s-1] = co.ixu[s-1], co.ixu[s]
 			for _, u := range co.ixu[s] {
 				u.ixuStage = s
-				co.traceStage(u, fmt.Sprintf("X%d", s))
+				if co.tracer != nil {
+					co.traceStage(u, fmt.Sprintf("X%d", s))
+				}
 			}
 		}
 	}

@@ -156,6 +156,186 @@ func TestFuzzAllModelsMatchEmulator(t *testing.T) {
 	}
 }
 
+// runWithInjectedFlushes runs prog on model m while injecting flushFrom
+// calls at pseudo-random cycles and random in-flight sequence numbers via
+// the end-of-cycle debug hook. It exercises squash paths that organic
+// memory-order violations reach only rarely: mid-IXU squashes, partial
+// LQ/SQ squashes, squashes of RENO-eliminated moves, and flushes landing
+// while fetch is blocked on an unresolved branch. Returns the drained core
+// (for leakCheck), the result, and the number of flushes injected.
+func runWithInjectedFlushes(m config.Model, prog *asm.Program, flushSeed int64, spacing int) (*Core, Result, int, error) {
+	co, err := New(m, emu.NewStream(emu.New(prog), 0))
+	if err != nil {
+		return nil, Result{}, 0, err
+	}
+	r := rand.New(rand.NewSource(flushSeed))
+	const maxInjected = 50
+	injected := 0
+	next := int64(spacing)
+	co.debug = func() {
+		if injected >= maxInjected || co.cycle < next || co.rob.Len() == 0 {
+			return
+		}
+		// Flush from a random in-flight instruction (suffix squash).
+		k := r.Intn(co.rob.Len())
+		co.flushFrom(co.rob.At(k).rec.Seq, co.cycle)
+		injected++
+		next = co.cycle + int64(spacing) + int64(r.Intn(spacing))
+	}
+	res, err := co.Run()
+	return co, res, injected, err
+}
+
+// checkFlushRun asserts the two invariants every injected-flush run must
+// preserve: the committed stream is exactly the architectural one, and the
+// uop pool conserves instances (no leaks, no double-frees) after drain.
+func checkFlushRun(t *testing.T, label string, co *Core, res Result, want uint64) {
+	t.Helper()
+	if res.Counters.Committed != want {
+		t.Errorf("%s: committed %d, want %d", label, res.Counters.Committed, want)
+	}
+	if err := co.leakCheck(); err != nil {
+		t.Errorf("%s: %v", label, err)
+	}
+}
+
+// flushFuzzModel maps a variant index to a model, covering the plain and
+// FX cores plus two configurations the default model set never exercises:
+// a single-MSHR core (fill serialization + flushes racing in-flight
+// misses) and a RENO core (squash of eliminated moves, whose RAT entries
+// alias another producer).
+func flushFuzzModel(variant uint8) config.Model {
+	switch variant % 5 {
+	case 0:
+		return config.Big()
+	case 1:
+		return config.Half()
+	case 2:
+		return config.HalfFX()
+	case 3:
+		m := config.HalfFX()
+		m.Name = "HALF+FX/mshr1"
+		m.MSHRs = 1
+		return m
+	default:
+		m := config.HalfFX()
+		m.Name = "HALF+FX/reno"
+		m.RENO = true
+		return m
+	}
+}
+
+// TestFuzzRandomFlush runs the seed scenarios deterministically under
+// plain `go test`: every model variant, two program seeds, and a spacing
+// short enough that flushes land while the IXU and LSQ hold live state.
+func TestFuzzRandomFlush(t *testing.T) {
+	progSeeds := []int64{3, 1234}
+	if testing.Short() {
+		progSeeds = progSeeds[:1]
+	}
+	for _, progSeed := range progSeeds {
+		src := generate(progSeed, 120, 40)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", progSeed, err)
+		}
+		golden := emu.New(prog)
+		want, err := golden.Run(10_000_000)
+		if err != nil || !golden.Halt {
+			t.Fatalf("seed %d emulate: %v (halt=%v)", progSeed, err, golden.Halt)
+		}
+		for variant := uint8(0); variant < 5; variant++ {
+			m := flushFuzzModel(variant)
+			label := fmt.Sprintf("seed %d on %s", progSeed, m.Name)
+			co, res, injected, err := runWithInjectedFlushes(m, prog, progSeed*31+int64(variant), 24)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if injected == 0 {
+				t.Errorf("%s: no flushes injected (scenario vacuous)", label)
+			}
+			checkFlushRun(t, label, co, res, want)
+		}
+	}
+}
+
+// FuzzRandomFlush is the native fuzz target over (program seed, flush
+// seed, flush spacing, model variant). The corpus seeds pin the scenarios
+// from the issue: a mid-IXU squash (FX model, tight spacing), an LQ/SQ
+// partial squash (plain OoO, mid spacing), MSHR exhaustion (single-MSHR
+// core), and a RENO-eliminated-move squash.
+func FuzzRandomFlush(f *testing.F) {
+	f.Add(int64(3), int64(7), uint8(16), uint8(2))     // mid-IXU squash
+	f.Add(int64(1234), int64(99), uint8(48), uint8(0)) // LQ/SQ partial squash
+	f.Add(int64(42), int64(5), uint8(24), uint8(3))    // MSHR exhaustion + flush
+	f.Add(int64(7), int64(11), uint8(20), uint8(4))    // RENO squash
+	f.Fuzz(func(t *testing.T, progSeed, flushSeed int64, spacing, variant uint8) {
+		src := generate(progSeed, 60, 30)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("generator emitted invalid assembly: %v", err)
+		}
+		golden := emu.New(prog)
+		want, err := golden.Run(10_000_000)
+		if err != nil || !golden.Halt {
+			t.Skip("generated program did not terminate in budget")
+		}
+		sp := 16 + int(spacing)%112
+		m := flushFuzzModel(variant)
+		co, res, _, err := runWithInjectedFlushes(m, prog, flushSeed, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFlushRun(t, m.Name, co, res, want)
+	})
+}
+
+// TestMSHRExhaustion pins the MSHR model: a pointer-stride loop whose
+// loads all miss must run strictly slower with one miss-status register
+// than with the default eight (fills serialize), while committing the
+// identical architectural stream.
+func TestMSHRExhaustion(t *testing.T) {
+	src := `
+	li r21, 400
+	li r1, 0x100000
+	li r2, 4096
+loop:	ld r3, 0(r1)
+	ld r4, 64(r1)
+	ld r5, 128(r1)
+	ld r6, 192(r1)
+	add r1, r1, r2
+	addi r21, r21, -1
+	bgt r21, loop
+	halt
+	`
+	prog := asm.MustAssemble(src)
+	want, _ := emu.New(prog).Run(1_000_000)
+	cycles := make(map[int]uint64)
+	for _, mshrs := range []int{1, 8} {
+		m := config.HalfFX()
+		m.MSHRs = mshrs
+		co, err := New(m, emu.NewStream(emu.New(prog), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.Committed != want {
+			t.Errorf("MSHRs=%d: committed %d, want %d", mshrs, res.Counters.Committed, want)
+		}
+		if err := co.leakCheck(); err != nil {
+			t.Errorf("MSHRs=%d: %v", mshrs, err)
+		}
+		cycles[mshrs] = res.Counters.Cycles
+	}
+	if cycles[1] <= cycles[8] {
+		t.Errorf("MSHR serialization has no effect: 1 MSHR took %d cycles, 8 MSHRs %d",
+			cycles[1], cycles[8])
+	}
+}
+
 // TestFuzzDivHeavy stresses unpipelined dividers and FU occupancy.
 func TestFuzzDivHeavy(t *testing.T) {
 	src := `

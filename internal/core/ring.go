@@ -1,0 +1,104 @@
+package core
+
+// uopRing is a capacity-pinned FIFO of in-flight uops (ROB, LSQ halves,
+// front-end queue). The backing array is allocated once at core
+// construction, so the pipeline's push/pop traffic — tens of millions of
+// operations per simulated second — performs zero steady-state heap work,
+// unlike the seed implementation's `q = q[1:]` slices whose backing arrays
+// drifted and forced a reallocation every capacity's-worth of commits.
+//
+// Operations keep program order: PushBack at the tail, PopFront at the
+// head, At(i) indexes from the head, Truncate drops a suffix (flush), and
+// DropFromSeq compacts out every entry with rec.Seq >= seq (flush of a
+// partially-overlapping queue). Vacated slots are nilled so a recycled uop
+// is never reachable through a stale ring slot.
+type uopRing struct {
+	buf  []*uop
+	head int
+	n    int
+}
+
+// newUopRing returns a ring with room for capacity entries (minimum 1).
+func newUopRing(capacity int) uopRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return uopRing{buf: make([]*uop, capacity)}
+}
+
+// Len returns the number of entries.
+func (r *uopRing) Len() int { return r.n }
+
+// slot maps a logical index to a physical one without a divide.
+func (r *uopRing) slot(i int) int {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return j
+}
+
+// At returns the i-th entry in program order (0 = oldest).
+func (r *uopRing) At(i int) *uop { return r.buf[r.slot(i)] }
+
+// set overwrites the i-th entry.
+func (r *uopRing) set(i int, u *uop) { r.buf[r.slot(i)] = u }
+
+// PushBack appends u, growing the backing array if the ring is full (the
+// renamer checks structural limits first, so growth only happens when a
+// caller runs an over-subscribed configuration).
+func (r *uopRing) PushBack(u *uop) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.slot(r.n)] = u
+	r.n++
+}
+
+// PopFront removes and returns the oldest entry.
+func (r *uopRing) PopFront() *uop {
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return u
+}
+
+// Truncate drops every entry at logical index >= keep.
+func (r *uopRing) Truncate(keep int) {
+	for i := keep; i < r.n; i++ {
+		r.set(i, nil)
+	}
+	r.n = keep
+}
+
+// DropFromSeq compacts out every entry whose rec.Seq >= seq, preserving
+// order. In-flight sequence numbers are unique (a replayed instruction is a
+// fresh uop carrying the same record), so this implements squash-by-age
+// without the seed implementation's per-flush map.
+func (r *uopRing) DropFromSeq(seq uint64) {
+	w := 0
+	for i := 0; i < r.n; i++ {
+		u := r.At(i)
+		if u.rec.Seq < seq {
+			if w != i {
+				r.set(w, u)
+			}
+			w++
+		}
+	}
+	r.Truncate(w)
+}
+
+// grow doubles the backing array, re-linearizing the contents.
+func (r *uopRing) grow() {
+	nb := make([]*uop, 2*len(r.buf))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.At(i)
+	}
+	r.buf = nb
+	r.head = 0
+}

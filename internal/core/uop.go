@@ -76,6 +76,11 @@ type uop struct {
 
 	// traceID identifies this instance to an attached PipeTracer.
 	traceID uint64
+
+	// refs is the pool reference count (see pool.go): pipeline residency
+	// plus one per RAT entry, consumer source operand, and store-set
+	// dependence edge pointing at this instance.
+	refs int32
 }
 
 func (u *uop) isLoad() bool  { return u.rec.Inst.Op.Class() == isa.ClassLoad }
@@ -93,36 +98,9 @@ func (u *uop) availToOXU() int64 {
 	return u.resultCycle
 }
 
-// newUop builds a uop from a trace record at fetch time.
-func newUop(rec emu.Record, cycle int64) *uop {
-	u := &uop{
-		rec:           rec,
-		fetchCycle:    cycle,
-		renameCycle:   farFuture,
-		dispatchCycle: farFuture,
-		execCycle:     farFuture,
-		resultCycle:   farFuture,
-		prfCycle:      farFuture,
-		lqIdx:         -1,
-		sqIdx:         -1,
-		robIdx:        -1,
-	}
-	var buf [3]isa.Reg
-	srcs := rec.Inst.Srcs(buf[:0])
-	u.nsrc = len(srcs)
-	for i := range u.srcAvail {
-		u.srcAvail[i] = farFuture
-	}
-	if dst, ok := rec.Inst.Dst(); ok {
-		u.dst, u.hasDst = dst, true
-	}
-	u.ea = rec.EA
-	return u
-}
-
-// srcRegs recomputes the architectural source registers (needed at rename
-// to look up producers in the RAT).
-func (u *uop) srcRegs() []isa.Reg {
-	var buf [3]isa.Reg
-	return u.rec.Inst.Srcs(buf[:0])
-}
+// uop construction lives in pool.go (Core.allocUop): instances are
+// recycled through a per-core free list, so building one must not
+// allocate. The renamer recomputes architectural source registers into the
+// core-owned scratch buffer (Core.srcBuf) for the same reason — the
+// obvious `buf [3]isa.Reg; return in.Srcs(buf[:0])` helper escapes to the
+// heap once per call.

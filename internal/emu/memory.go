@@ -4,7 +4,10 @@
 // instruction stream used to drive the timing models.
 package emu
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 const pageBits = 12
 const pageSize = 1 << pageBits
@@ -122,6 +125,48 @@ func (m *Memory) WriteBytes(addr uint64, data []byte) {
 
 // Footprint returns the number of resident pages (for tests/statistics).
 func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Diff compares two memories byte-for-byte and returns the address of the
+// first differing byte (lowest address). Pages resident in only one memory
+// compare against zeroes, matching read semantics: an unwritten location
+// reads as zero, so an all-zero resident page equals an absent one.
+func (m *Memory) Diff(o *Memory) (addr uint64, differs bool) {
+	keys := make([]uint64, 0, len(m.pages)+len(o.pages))
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	for k := range o.pages {
+		if _, dup := m.pages[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var zero [pageSize]byte
+	for _, k := range keys {
+		a, b := m.pages[k], o.pages[k]
+		if a == nil {
+			a = &zero
+		}
+		if b == nil {
+			b = &zero
+		}
+		if *a == *b {
+			continue
+		}
+		for i := 0; i < pageSize; i++ {
+			if a[i] != b[i] {
+				return k<<pageBits + uint64(i), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Equal reports whether two memories hold identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	_, differs := m.Diff(o)
+	return !differs
+}
 
 // Clone returns a deep copy of the memory: every resident page is copied,
 // so writes to the clone never affect the original (and vice versa).

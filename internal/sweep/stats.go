@@ -17,6 +17,25 @@ type Stats struct {
 	SimInsts    uint64        // committed instructions across all simulated jobs
 	SimCycles   uint64        // simulated cycles across all simulated jobs
 	Wall        time.Duration // wall-clock time of the whole run
+
+	// Allocs and AllocBytes are the process-wide heap-allocation deltas
+	// (runtime.MemStats Mallocs / TotalAlloc) across the run. They are a
+	// sweep-level view of the simulator's allocation discipline: with the
+	// core's pooled hot loop they stay roughly constant per job (cold-start
+	// structures) instead of scaling with simulated instructions. Other
+	// goroutines in the process contribute too, so treat them as an upper
+	// bound.
+	Allocs     uint64
+	AllocBytes uint64
+}
+
+// AllocsPerKInst returns heap allocations per thousand committed
+// instructions (0 when nothing ran).
+func (s Stats) AllocsPerKInst() float64 {
+	if s.SimInsts == 0 {
+		return 0
+	}
+	return float64(s.Allocs) / (float64(s.SimInsts) / 1e3)
 }
 
 // InstsPerSec returns the aggregate simulation throughput in committed
@@ -39,6 +58,9 @@ func (s Stats) String() string {
 	}
 	line += fmt.Sprintf(", %.1f Minst, %.1f Minst/s",
 		float64(s.SimInsts)/1e6, s.InstsPerSec()/1e6)
+	if s.Allocs > 0 && s.SimInsts > 0 {
+		line += fmt.Sprintf(", %.1f allocs/Kinst", s.AllocsPerKInst())
+	}
 	if s.Errors > 0 {
 		line += fmt.Sprintf(", %d errors", s.Errors)
 	}

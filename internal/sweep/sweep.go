@@ -62,9 +62,14 @@ type Job struct {
 type ErrorMode int
 
 const (
-	// FailFast cancels the remaining jobs on the first error and
-	// returns the error of the lowest-indexed failed job (deterministic
-	// regardless of completion order). This is the zero value.
+	// FailFast stops dispatching new jobs on the first error, lets the
+	// jobs already in flight finish, and returns the error of the
+	// lowest-indexed failed job. Dispatch is in index order, so every
+	// job below the failing one has already run to completion and the
+	// reported error is deterministic regardless of completion order.
+	// (Cancelling in-flight work instead would let scheduling decide
+	// whether a lower-indexed job records its real error or a skip.)
+	// This is the zero value.
 	FailFast ErrorMode = iota
 	// CollectAll runs every job and returns all errors joined.
 	CollectAll
@@ -118,6 +123,8 @@ type Options struct {
 // (joined with any job errors already observed in CollectAll mode).
 func Run(ctx context.Context, jobs []Job, opts Options) ([]core.Result, Stats, error) {
 	start := time.Now()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	stats := Stats{Jobs: len(jobs)}
 	if len(jobs) == 0 {
 		stats.Wall = time.Since(start)
@@ -153,14 +160,19 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]core.Result, Stats, e
 		}
 	}()
 
-	// Dispatcher: feeds job indices until done or cancelled.
+	// Dispatcher: feeds job indices in order until done, cancelled, or
+	// stopped by a fail-fast error.
 	feed := make(chan int)
+	stopFeed := make(chan struct{})
+	var stopOnce sync.Once
 	go func() {
 		defer close(feed)
 		for i := range jobs {
 			select {
 			case feed <- i:
 			case <-runCtx.Done():
+				return
+			case <-stopFeed:
 				return
 			}
 		}
@@ -192,7 +204,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]core.Result, Stats, e
 				events <- Event{Kind: EventDone, JobIndex: i, Label: job.Label,
 					Done: done, Total: len(jobs), CacheHit: hit, Err: err}
 				if err != nil && opts.Errors == FailFast {
-					cancel()
+					stopOnce.Do(func() { close(stopFeed) })
 				}
 			}
 		}()
@@ -206,6 +218,10 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]core.Result, Stats, e
 	stats.CacheMisses = int(cacheMisses.Load())
 	stats.SimInsts = simInsts.Load()
 	stats.SimCycles = simCycles.Load()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	stats.Allocs = memAfter.Mallocs - memBefore.Mallocs
+	stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
 	stats.Wall = time.Since(start)
 	for _, e := range errs {
 		if e != nil {
