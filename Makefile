@@ -5,17 +5,20 @@
 #   make check   alias for the same chain — the pre-merge gate
 #   make race    only the scoped race check
 #   make bench   hot-loop benchmarks, -benchmem -count=5 (benchstat-ready)
+#   make bench-emu  functional fast-forward + snapshot benchmarks
+#                (compare against the record in BENCH_emu.json)
 #   make bench-figures  one pass over the table/figure benchmarks
 #   make fuzz    short run of the core's random-flush fuzzer
 
 GO ?= go
 
-# Packages with real concurrency: the sweep engine and the sampling
-# harness that parallelizes detailed windows through it. (The root
-# package's multi-worker determinism tests run under race in race-full.)
-RACE_PKGS = ./internal/sweep ./internal/sampling
+# Packages with real concurrency: the sweep engine, the sampling harness
+# that parallelizes detailed windows through it, and the emulator whose
+# copy-on-write clones execute on other goroutines. (The root package's
+# multi-worker determinism tests run under race in race-full.)
+RACE_PKGS = ./internal/sweep ./internal/sampling ./internal/emu
 
-.PHONY: tier1 check build vet test race race-full bench bench-figures fuzz
+.PHONY: tier1 check build vet test race race-full bench bench-emu bench-figures fuzz
 
 tier1: build vet test race
 
@@ -46,6 +49,12 @@ race-full: race
 # discipline documented in DESIGN.md §8.2.
 bench:
 	$(GO) test -bench 'BenchmarkCore' -benchmem -count=5 -run '^$$' ./internal/core
+
+# Functional fast-forward and snapshot benchmarks (DESIGN.md §8.3).
+# Compare ns/inst and allocs/op against the record in BENCH_emu.json.
+bench-emu:
+	$(GO) test -bench 'BenchmarkEmu|BenchmarkMemoryClone|BenchmarkMachineClone' -benchmem -count=5 -run '^$$' ./internal/emu
+	$(GO) test -bench 'BenchmarkSamplingEndToEnd' -benchmem -count=5 -run '^$$' ./internal/sampling
 
 # One pass over the table/figure reproduction benchmarks (the original
 # `make bench`).

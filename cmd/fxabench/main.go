@@ -3,10 +3,21 @@
 //
 // Usage:
 //
-//	fxabench [-n insts] [-j workers] [-cache] [-cachedir dir]
+//	fxabench [-n insts] [-warmup insts] [-ffmode fast|step]
+//	         [-j workers] [-cache] [-cachedir dir]
 //	         [-experiment all|table1|table2|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|headline]
 //	         [-format text|csv|markdown] [-q]
 //	         [-cpuprofile file] [-memprofile file]
+//
+// With -warmup, the main sweep fast-forwards each (workload, model) cell
+// functionally (emulator only, no timing) before its detailed window — the
+// paper's skip-then-measure methodology (Section VI-A) at reduced scale.
+// The sweep summary line then reports the fast-forward volume and
+// throughput ("ff X Minst at Y Minst/s"). -ffmode selects the emulator's
+// fast-forward engine: "fast" (default) uses the predecoded basic-block
+// interpreter, "step" forces the single-instruction reference path — the
+// two are bit-identical, so "step" exists for cross-checking and
+// debugging (see DESIGN.md §8.3).
 //
 // With -cpuprofile the whole invocation is profiled; with -memprofile an
 // allocation profile ("allocs", cumulative since process start) is written
@@ -70,6 +81,8 @@ var validFormats = []string{"text", "csv", "markdown"}
 
 func main() {
 	n := flag.Uint64("n", 300_000, "dynamic instructions per benchmark run")
+	warmup := flag.Uint64("warmup", 0, "functional fast-forward instructions before each main-sweep run")
+	ffmode := flag.String("ffmode", "fast", "emulator fast-forward engine: fast (predecoded blocks) or step (reference)")
 	exp := flag.String("experiment", "all", "which experiment to run ("+strings.Join(validExperiments, ", ")+")")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	format := flag.String("format", "text", "output format: "+strings.Join(validFormats, ", "))
@@ -85,6 +98,14 @@ func main() {
 	}
 	if !contains(validFormats, *format) {
 		fatal(fmt.Errorf("unknown format %q (valid: %s)", *format, strings.Join(validFormats, ", ")))
+	}
+	switch *ffmode {
+	case "fast":
+		fxa.SetFFMode(fxa.FFFast)
+	case "step":
+		fxa.SetFFMode(fxa.FFStep)
+	default:
+		fatal(fmt.Errorf("unknown ffmode %q (valid: fast, step)", *ffmode))
 	}
 
 	if *cpuprofile != "" {
@@ -192,7 +213,7 @@ func main() {
 	if needSweep {
 		var err error
 		var stats fxa.SweepStats
-		ev, stats, err = fxa.RunEvaluationSweep(ctx, *n, progressOpts("main sweep"))
+		ev, stats, err = fxa.RunEvaluationSweepWarm(ctx, *warmup, *n, progressOpts("main sweep"))
 		if err != nil {
 			fatal(err)
 		}

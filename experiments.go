@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"fxa/internal/config"
+	"fxa/internal/emu"
 	"fxa/internal/energy"
 	"fxa/internal/sweep"
 )
@@ -43,27 +46,78 @@ type BenchResult struct {
 // with energies. All figure-level views derive from it.
 type Evaluation struct {
 	MaxInsts uint64
-	Models   []Model
-	Rows     []BenchResult
+	// Warmup is the per-cell functional fast-forward that preceded each
+	// detailed simulation (0 for the classic cold-start evaluation).
+	Warmup uint64
+	Models []Model
+	Rows   []BenchResult
 }
 
-// simFingerprint is the cache identity of one (model, workload, maxInsts)
-// simulation: it embeds the complete model and workload configurations,
-// so any parameter change misses the result cache.
+// simFingerprint is the cache identity of one (model, workload, warmup,
+// maxInsts) simulation: it embeds the complete model and workload
+// configurations, so any parameter change misses the result cache.
 type simFingerprint struct {
 	Kind     string // job family, so distinct job types never collide
 	Model    Model
 	Workload Workload
+	Warmup   uint64
 	MaxInsts uint64
 }
 
+// ffMeter accumulates functional fast-forward cost across concurrently
+// executing sweep jobs; the totals land in sweep.Stats.FFInsts/FFTime.
+// A nil meter discards.
+type ffMeter struct {
+	insts atomic.Uint64
+	nanos atomic.Int64
+}
+
+func (f *ffMeter) add(insts uint64, d time.Duration) {
+	if f == nil {
+		return
+	}
+	f.insts.Add(insts)
+	f.nanos.Add(int64(d))
+}
+
 // runJob builds the sweep job for one (model, workload) evaluation cell.
-func runJob(m Model, w Workload, maxInsts uint64) sweep.Job {
+// warmup > 0 prepends a functional fast-forward (emulator-only, no
+// timing) to the detailed window, and ff accounts its cost.
+func runJob(m Model, w Workload, warmup, maxInsts uint64, ff *ffMeter) sweep.Job {
 	return sweep.Job{
 		Label:       w.Name + "/" + m.Name,
-		Fingerprint: simFingerprint{Kind: "run", Model: m, Workload: w, MaxInsts: maxInsts},
+		Fingerprint: simFingerprint{Kind: "run", Model: m, Workload: w, Warmup: warmup, MaxInsts: maxInsts},
 		Run: func(context.Context) (Result, error) {
-			return Run(m, w, maxInsts)
+			if warmup == 0 {
+				return Run(m, w, maxInsts)
+			}
+			prog, err := w.Build()
+			if err != nil {
+				return Result{}, err
+			}
+			// Time only the emulator's fast-forward, not program build
+			// or machine setup, so Stats.FFInstsPerSec reports the
+			// fast path's real throughput.
+			machine := emu.New(prog)
+			t0 := time.Now()
+			n, err := machine.Run(warmup)
+			ff.add(n, time.Since(t0))
+			if err != nil {
+				return Result{}, fmt.Errorf("fxa: %s on %s: warmup: %w", m.Name, w.Name, err)
+			}
+			limit := maxInsts
+			if limit > 0 {
+				limit += machine.InstCount
+			}
+			trace := emu.NewStream(machine, limit)
+			res, err := RunTrace(m, trace)
+			if err != nil {
+				return Result{}, fmt.Errorf("fxa: %s on %s: %w", m.Name, w.Name, err)
+			}
+			if terr := trace.Err(); terr != nil {
+				return Result{}, fmt.Errorf("fxa: %s trace: %w", w.Name, terr)
+			}
+			return res, nil
 		},
 	}
 }
@@ -95,15 +149,28 @@ func RunEvaluation(maxInsts uint64, progress func(workload, model string)) (*Eva
 // cache. Rows are assembled in catalog order regardless of completion
 // order, so the evaluation is deterministic for any worker count.
 func RunEvaluationSweep(ctx context.Context, maxInsts uint64, opts SweepOptions) (*Evaluation, SweepStats, error) {
-	ev := &Evaluation{MaxInsts: maxInsts, Models: Models()}
+	return RunEvaluationSweepWarm(ctx, 0, maxInsts, opts)
+}
+
+// RunEvaluationSweepWarm is RunEvaluationSweep with a per-cell functional
+// fast-forward of warmup instructions before each detailed window — the
+// paper's skip-then-measure methodology (Section VI-A) scaled down. The
+// fast-forward runs on the emulator's fast path and its aggregate cost is
+// reported in the returned SweepStats (FFInsts/FFTime), so the stats line
+// shows how much of the wall clock went to functional skipping.
+func RunEvaluationSweepWarm(ctx context.Context, warmup, maxInsts uint64, opts SweepOptions) (*Evaluation, SweepStats, error) {
+	ev := &Evaluation{MaxInsts: maxInsts, Warmup: warmup, Models: Models()}
 	ws := Workloads()
+	var ff ffMeter
 	jobs := make([]sweep.Job, 0, len(ws)*len(ev.Models))
 	for _, w := range ws {
 		for _, m := range ev.Models {
-			jobs = append(jobs, runJob(m, w, maxInsts))
+			jobs = append(jobs, runJob(m, w, warmup, maxInsts, &ff))
 		}
 	}
 	results, stats, err := sweep.Run(ctx, jobs, opts)
+	stats.FFInsts = ff.insts.Load()
+	stats.FFTime = time.Duration(ff.nanos.Load())
 	if err != nil {
 		return nil, stats, err
 	}

@@ -293,7 +293,7 @@ func RunFigure11Sweep(ctx context.Context, maxInsts uint64, opts SweepOptions) (
 	jobs := make([]sweep.Job, 0, len(variants)*len(ws))
 	for _, v := range variants {
 		for _, w := range ws {
-			j := runJob(v.model, w, maxInsts)
+			j := runJob(v.model, w, 0, maxInsts, nil)
 			j.Label = v.label + " " + w.Name
 			jobs = append(jobs, j)
 		}
@@ -352,7 +352,7 @@ func RunFigure1213Sweep(ctx context.Context, maxInsts uint64, opts SweepOptions)
 	// variant over all workloads.
 	jobs := make([]sweep.Job, 0, (1+maxDepth)*len(ws))
 	for _, w := range ws {
-		j := runJob(Big(), w, maxInsts)
+		j := runJob(Big(), w, 0, maxInsts, nil)
 		j.Label = "BIG " + w.Name
 		jobs = append(jobs, j)
 	}
@@ -364,7 +364,7 @@ func RunFigure1213Sweep(ctx context.Context, maxInsts uint64, opts SweepOptions)
 		}
 		m.IXU.BypassMaxDist = 0
 		for _, w := range ws {
-			j := runJob(m, w, maxInsts)
+			j := runJob(m, w, 0, maxInsts, nil)
 			j.Label = fmt.Sprintf("depth %d %s", depth, w.Name)
 			jobs = append(jobs, j)
 		}

@@ -59,6 +59,23 @@ const (
 // simulator change invalidates them.
 func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.OpenCache(dir) }
 
+// FFMode selects how the emulator advances during functional
+// fast-forward: FFFast uses the predecoded basic-block interpreter (the
+// default, ~5x faster), FFStep forces the single-instruction reference
+// path. The two are bit-identical; FFStep exists for differential testing
+// and debugging.
+type FFMode = emu.FFMode
+
+// Re-exported fast-forward modes.
+const (
+	FFFast = emu.FFFast
+	FFStep = emu.FFStep
+)
+
+// SetFFMode sets the process-wide default fast-forward mode used by all
+// machines created afterwards (existing machines are unaffected).
+func SetFFMode(m FFMode) { emu.SetDefaultFFMode(m) }
+
 // Model is a processor configuration (a column of Table I).
 type Model = config.Model
 

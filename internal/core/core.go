@@ -29,6 +29,24 @@ type Trace interface {
 	Next() (emu.Record, bool)
 }
 
+// BatchTrace is an optional extension of Trace. NextBatch fills buf with
+// the next records and returns how many it produced, allowing a front
+// end to pay the per-record interface-call overhead once per batch. A
+// zero return means the trace ended; a short non-zero return is legal
+// (the consumer simply refills later). The record sequence must be
+// exactly what repeated Next calls would yield. emu.Stream implements
+// this; the front ends detect it with a type assertion at construction
+// and fall back to Next otherwise.
+type BatchTrace interface {
+	Trace
+	NextBatch(buf []emu.Record) int
+}
+
+// traceBatch is the refill size used when the trace supports batching:
+// large enough to amortize the call, small enough that the buffer stays
+// resident in L1 (64 records × 32 B = 2 KiB).
+const traceBatch = 64
+
 // Result bundles everything a simulation run produces.
 type Result struct {
 	Model    string
@@ -77,6 +95,12 @@ type Core struct {
 	traceDone  bool
 	pendingRec emu.Record // record fetched from trace but not yet issued to pipeline
 	hasPending bool
+
+	// Batched trace consumption (nil/empty when the trace only supports
+	// Next): live records are batchBuf[batchHead:len(batchBuf)].
+	batcher   BatchTrace
+	batchBuf  []emu.Record
+	batchHead int
 
 	// Front-end delay line: fetched uops waiting to reach rename.
 	feQueue uopRing
@@ -151,6 +175,10 @@ func New(cfg config.Model, trace Trace) (*Core, error) {
 	co.sq = newUopRing(cfg.SQEntries)
 	co.feQueue = newUopRing((int(co.frontDepth()) + 2) * cfg.FetchWidth)
 	co.iq = make([]*uop, 0, cfg.IQEntries)
+	if bt, ok := trace.(BatchTrace); ok {
+		co.batcher = bt
+		co.batchBuf = make([]emu.Record, 0, traceBatch)
+	}
 	if cfg.FX {
 		co.ixu = make([][]*uop, cfg.IXU.Stages())
 		for i := range co.ixu {

@@ -30,6 +30,20 @@ func (co *Core) nextRec() (emu.Record, bool) {
 	if co.traceDone {
 		return emu.Record{}, false
 	}
+	if co.batcher != nil {
+		if co.batchHead == len(co.batchBuf) {
+			n := co.batcher.NextBatch(co.batchBuf[:cap(co.batchBuf)])
+			co.batchBuf = co.batchBuf[:n]
+			co.batchHead = 0
+			if n == 0 {
+				co.traceDone = true
+				return emu.Record{}, false
+			}
+		}
+		r := co.batchBuf[co.batchHead]
+		co.batchHead++
+		return r, true
+	}
 	r, ok := co.trace.Next()
 	if !ok {
 		co.traceDone = true

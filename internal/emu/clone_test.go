@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"sync"
 	"testing"
 
 	"fxa/internal/asm"
@@ -86,6 +87,97 @@ func TestMachineCloneIsIndependent(t *testing.T) {
 	m.Mem.Write64(0x8000, 0xdeadbeef)
 	if got := c.Mem.Read64(0x8000); got != cMem {
 		t.Fatal("original writes leaked into clone memory")
+	}
+}
+
+// TestConcurrentCloneExecution drives several clones and the original on
+// separate goroutines simultaneously. The emulator is deterministic, so
+// every machine must arrive at the identical state; under -race this also
+// proves that copy-on-write page sharing and the atomic refs/code flags
+// are data-race-free.
+func TestConcurrentCloneExecution(t *testing.T) {
+	p := asm.MustAssemble(cloneProgram)
+	m := New(p)
+	if _, err := m.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	const clones, advance = 8, 4_000
+	cs := make([]*Machine, clones)
+	for i := range cs {
+		cs[i] = m.Clone()
+	}
+	if m.Mem.SharedPages() == 0 {
+		t.Fatal("no pages shared after cloning; COW test is vacuous")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clones)
+	for i, c := range cs {
+		wg.Add(1)
+		go func(i int, c *Machine) {
+			defer wg.Done()
+			_, errs[i] = c.Run(advance)
+		}(i, c)
+	}
+	if _, err := m.Run(advance); err != nil { // original advances concurrently
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, c := range cs {
+		if errs[i] != nil {
+			t.Fatalf("clone %d: %v", i, errs[i])
+		}
+		if c.R != m.R || c.F != m.F || c.PC != m.PC || c.InstCount != m.InstCount {
+			t.Fatalf("clone %d state diverged from original", i)
+		}
+		if !c.Mem.Equal(m.Mem) {
+			t.Fatalf("clone %d memory diverged from original", i)
+		}
+	}
+}
+
+// TestMemoryCloneAllocsIndependentOfFootprint is the O(1)-snapshot
+// guarantee: cloning a memory with thousands of resident pages must
+// allocate exactly as much as cloning a near-empty one (the seed copied
+// every page, so its clone cost scaled with the footprint).
+func TestMemoryCloneAllocsIndependentOfFootprint(t *testing.T) {
+	small := NewMemory()
+	small.Write64(0x1000, 1)
+	big := NewMemory()
+	for i := uint64(0); i < 4096; i++ {
+		big.Write64(i*pageSize, i) // 4096 resident pages, 16 MiB
+	}
+	var sink *Memory
+	allocsSmall := testing.AllocsPerRun(20, func() { sink = small.Clone() })
+	allocsBig := testing.AllocsPerRun(20, func() { sink = big.Clone() })
+	_ = sink
+	if allocsBig != allocsSmall {
+		t.Errorf("clone allocations scale with footprint: %v (1 page) vs %v (4096 pages)",
+			allocsSmall, allocsBig)
+	}
+}
+
+// TestMemoryCloneSharesUntouchedPages checks the sharing bookkeeping
+// directly: immediately after Clone all resident pages are shared, and a
+// single write detaches exactly one.
+func TestMemoryCloneSharesUntouchedPages(t *testing.T) {
+	mem := NewMemory()
+	for i := uint64(0); i < 16; i++ {
+		mem.Write64(0x1000+i*pageSize, i+1)
+	}
+	c := mem.Clone()
+	if got := c.SharedPages(); got != 16 {
+		t.Fatalf("shared pages after clone = %d, want 16", got)
+	}
+	c.Write64(0x1000, 99)
+	if got := c.SharedPages(); got != 15 {
+		t.Errorf("shared pages after one write = %d, want 15", got)
+	}
+	if got := mem.Read64(0x1000); got != 1 {
+		t.Errorf("original saw the clone's write: %d", got)
+	}
+	// The untouched page is physically the same object, not a copy.
+	if mem.lookup(0x2000>>pageBits) != c.lookup(0x2000>>pageBits) {
+		t.Error("untouched page was copied, not shared")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 
 	"fxa/internal/asm"
 	"fxa/internal/isa"
@@ -21,6 +22,31 @@ type Record struct {
 	EA     uint64   // effective address for loads/stores
 }
 
+// FFMode selects how Machine.Run executes a functional fast-forward.
+type FFMode uint8
+
+const (
+	// FFFast (the default) executes through the page-predecoded
+	// block-stepping loop (RunFast): no per-instruction map lookup, no
+	// Record construction. Bit-identical to FFStep by the differential
+	// suite.
+	FFFast FFMode = iota
+	// FFStep executes one Step per instruction — the reference path,
+	// kept for cross-checking (fxabench -ffmode step).
+	FFStep
+)
+
+// defaultFFMode is the mode new machines start in; see SetDefaultFFMode.
+var defaultFFMode atomic.Uint32
+
+// SetDefaultFFMode sets the fast-forward mode that New assigns to fresh
+// machines (existing machines are unaffected). Intended for process-wide
+// configuration at startup, e.g. fxabench -ffmode.
+func SetDefaultFFMode(mode FFMode) { defaultFFMode.Store(uint32(mode)) }
+
+// DefaultFFMode returns the mode New assigns to fresh machines.
+func DefaultFFMode() FFMode { return FFMode(defaultFFMode.Load()) }
+
 // Machine is the architectural state of one program.
 type Machine struct {
 	R    [isa.NumIntRegs]uint64
@@ -32,12 +58,29 @@ type Machine struct {
 	// InstCount is the number of instructions executed so far.
 	InstCount uint64
 
-	decodeCache map[uint64]isa.Inst
+	// FF selects the fast-forward path taken by Run. Initialized from
+	// the package default (SetDefaultFFMode); may be overridden per
+	// machine.
+	FF FFMode
+
+	// Page-indexed predecode state (predecode.go). pred maps page key
+	// to its immutable decoded table; predGen counts invalidations so
+	// the fast loop can detect self-modifying code mid-block; curKey/cur
+	// cache the last table used by Step (key+1, 0 = none).
+	pred    map[uint64]*predecodePage
+	predGen uint64
+	curKey  uint64
+	cur     *predecodePage
 }
 
 // New creates a machine with the program image loaded and PC at its entry.
 func New(p *asm.Program) *Machine {
-	m := &Machine{Mem: NewMemory(), decodeCache: make(map[uint64]isa.Inst)}
+	m := &Machine{
+		Mem:  NewMemory(),
+		FF:   DefaultFFMode(),
+		pred: make(map[uint64]*predecodePage),
+	}
+	m.Mem.setCodeWriteHook(m.invalidateCode)
 	for _, seg := range p.Segments {
 		m.Mem.WriteBytes(seg.Addr, seg.Data)
 	}
@@ -45,26 +88,36 @@ func New(p *asm.Program) *Machine {
 	return m
 }
 
-// Clone returns a deep, independent copy of the machine: registers, PC,
-// halt state, instruction count and a page-by-page copy of memory. The
-// clone executes independently of the original — the sampling harness
-// uses it to snapshot architectural state at a detailed-window boundary
-// so windows can be simulated in parallel while the functional machine
-// advances. The decode cache is copied (decoding is deterministic, so a
-// fresh map would also be correct, just colder).
+// Clone returns an independent copy of the machine: registers, PC, halt
+// state, instruction count, a copy-on-write snapshot of memory, and the
+// predecode page table. The clone executes independently of the original —
+// the sampling harness uses it to snapshot architectural state at a
+// detailed-window boundary so windows can be simulated in parallel while
+// the functional machine advances, possibly on other goroutines.
+//
+// The cost is two pointer-table copies: memory pages are shared until
+// first write (Memory.Clone), and predecode tables are immutable so the
+// clone shares them outright — decoding is never repeated (the seed
+// copied its whole decode cache entry by entry here). Each machine keeps
+// its own table *map*, so self-modifying code in one machine drops only
+// that machine's tables; the other's copy-on-write memory still holds the
+// bytes its shared tables were built from.
 func (m *Machine) Clone() *Machine {
 	c := &Machine{
-		R:           m.R,
-		F:           m.F,
-		PC:          m.PC,
-		Mem:         m.Mem.Clone(),
-		Halt:        m.Halt,
-		InstCount:   m.InstCount,
-		decodeCache: make(map[uint64]isa.Inst, len(m.decodeCache)),
+		R:         m.R,
+		F:         m.F,
+		PC:        m.PC,
+		Mem:       m.Mem.Clone(),
+		Halt:      m.Halt,
+		InstCount: m.InstCount,
+		FF:        m.FF,
+		pred:      make(map[uint64]*predecodePage, len(m.pred)),
+		predGen:   m.predGen,
 	}
-	for pc, in := range m.decodeCache {
-		c.decodeCache[pc] = in
+	for key, pp := range m.pred {
+		c.pred[key] = pp
 	}
+	c.Mem.setCodeWriteHook(c.invalidateCode)
 	return c
 }
 
@@ -74,14 +127,16 @@ func (m *Machine) Step() (Record, bool, error) {
 	if m.Halt {
 		return Record{}, false, nil
 	}
-	in, ok := m.decodeCache[m.PC]
+	in, ok := m.lookupInst(m.PC)
 	if !ok {
+		// The predecode slot is unusable (bad word, or unaligned PC):
+		// decode directly so the exact error — or exact unaligned-fetch
+		// semantics — surfaces.
 		var err error
 		in, err = isa.Decode(m.Mem.Read32(m.PC))
 		if err != nil {
 			return Record{}, false, fmt.Errorf("emu: at PC %#x: %w", m.PC, err)
 		}
-		m.decodeCache[m.PC] = in
 	}
 	rec := Record{Seq: m.InstCount, PC: m.PC, Inst: in, NextPC: m.PC + 4}
 
@@ -288,8 +343,17 @@ func b2u(b bool) uint64 {
 }
 
 // Run executes until halt or max instructions, returning the number
-// executed.
+// executed. Fast-forwards take the block-stepping fast loop (RunFast)
+// unless the machine is in FFStep mode; the two are bit-identical.
 func (m *Machine) Run(max uint64) (uint64, error) {
+	if m.FF == FFStep {
+		return m.runStep(max)
+	}
+	return m.RunFast(max)
+}
+
+// runStep is the reference fast-forward: one Step per instruction.
+func (m *Machine) runStep(max uint64) (uint64, error) {
 	start := m.InstCount
 	for !m.Halt && m.InstCount-start < max {
 		if _, ok, err := m.Step(); err != nil {
@@ -326,6 +390,32 @@ func (s *Stream) Next() (Record, bool) {
 		return Record{}, false
 	}
 	return rec, ok
+}
+
+// NextBatch fills buf with the next committed-path records and returns
+// how many it produced: the batched form of Next, so a timing front end
+// pays the stream-call overhead once per batch instead of once per
+// record. A short return (including 0) means the stream ended — limit
+// reached, program halt, or an error (see Err). The produced record
+// sequence is exactly what repeated Next calls would yield.
+func (s *Stream) NextBatch(buf []Record) int {
+	n := 0
+	for n < len(buf) {
+		if s.err != nil || (s.Max != 0 && s.M.InstCount >= s.Max) {
+			break
+		}
+		rec, ok, err := s.M.Step()
+		if err != nil {
+			s.err = err
+			break
+		}
+		if !ok {
+			break
+		}
+		buf[n] = rec
+		n++
+	}
+	return n
 }
 
 // Err reports a decode/execution error that terminated the stream, if any.

@@ -1,0 +1,99 @@
+// Page-indexed predecode tables.
+//
+// The seed emulator decoded through a map[PC]isa.Inst consulted on every
+// Step — a hash lookup per simulated instruction, and an O(entries) copy
+// on every Machine.Clone. The predecode path replaces it with a flat
+// table per 4 KiB code page, built lazily the first time execution enters
+// the page: all 1024 instruction slots are decoded in one pass and the
+// page is then immutable.
+//
+// Immutability is what makes sharing cheap and safe: Machine.Clone copies
+// only the map of page pointers (no re-decoding, no deep copy), and
+// clones executing on other goroutines read the shared tables without
+// synchronization. Coherence with self-modifying code is preserved by a
+// write hook in Memory: building a table marks the backing memory page
+// (page.code), and any later write through that memory to a marked page
+// calls Machine.invalidateCode, which drops the owning machine's table —
+// never a clone's, whose copy-on-write memory still holds the old bytes.
+// Every invalidation bumps Machine.predGen so the block-stepping fast
+// loop (fast.go) can notice mid-run that its cached table went stale.
+package emu
+
+import (
+	"encoding/binary"
+
+	"fxa/internal/isa"
+)
+
+// slotsPerPage is the number of 4-byte instruction slots in one page.
+const slotsPerPage = pageSize / 4
+
+// invalidOp marks a predecode slot whose 32-bit word does not decode.
+// Executing such a slot falls back to isa.Decode to surface the exact
+// error (or, for the rare unaligned PC, the exact semantics).
+const invalidOp = isa.NumOpcodes
+
+// predecodePage is the decoded form of one code page. It is immutable
+// after buildPredecodePage returns and may be shared by any number of
+// machines.
+type predecodePage struct {
+	insts [slotsPerPage]isa.Inst
+}
+
+// buildPredecodePage decodes every aligned word of a page. Words that do
+// not decode are marked invalidOp rather than failing the build: a decode
+// error must only surface if the PC actually reaches the bad word, and
+// data interleaved into a code page must not poison its executable part.
+func buildPredecodePage(data *[pageSize]byte) *predecodePage {
+	pp := new(predecodePage)
+	for i := 0; i < slotsPerPage; i++ {
+		in, err := isa.Decode(binary.LittleEndian.Uint32(data[i*4:]))
+		if err != nil {
+			in = isa.Inst{Op: invalidOp}
+		}
+		pp.insts[i] = in
+	}
+	return pp
+}
+
+// predPage returns the predecode table for page key, building it on first
+// use.
+func (m *Machine) predPage(key uint64) *predecodePage {
+	if pp := m.pred[key]; pp != nil {
+		return pp
+	}
+	pp := buildPredecodePage(m.Mem.codePage(key))
+	m.pred[key] = pp
+	return pp
+}
+
+// lookupInst returns the predecoded instruction at pc. ok is false when
+// the slot holds a word that does not decode, or when pc is not 4-byte
+// aligned (the table indexes aligned words only); the caller then falls
+// back to a direct decode.
+func (m *Machine) lookupInst(pc uint64) (isa.Inst, bool) {
+	if pc&3 != 0 {
+		return isa.Inst{}, false
+	}
+	key := pc >> pageBits
+	if key+1 != m.curKey {
+		m.cur = m.predPage(key)
+		m.curKey = key + 1
+	}
+	in := m.cur.insts[(pc&(pageSize-1))>>2]
+	return in, in.Op != invalidOp
+}
+
+// invalidateCode is the Memory code-write hook: a write landed in page
+// key after a predecode table was built from it. Drop this machine's
+// table (a fresh one is rebuilt from the new bytes on next execution) and
+// bump the generation so an in-flight fast loop re-resolves its page.
+func (m *Machine) invalidateCode(key uint64) {
+	if _, ok := m.pred[key]; ok {
+		delete(m.pred, key)
+		m.predGen++
+	}
+	if m.curKey == key+1 {
+		m.curKey, m.cur = 0, nil
+	}
+}

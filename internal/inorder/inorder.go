@@ -48,6 +48,12 @@ type Core struct {
 	traceDone  bool
 	pending    *emu.Record
 
+	// Batched trace consumption (nil/empty when the trace only supports
+	// Next): live records are batchBuf[batchHead:len(batchBuf)].
+	batcher   core.BatchTrace
+	batchBuf  []emu.Record
+	batchHead int
+
 	queue []*iuop
 
 	regReady [2][isa.NumIntRegs]int64
@@ -68,7 +74,7 @@ func New(cfg config.Model, trace core.Trace) (*Core, error) {
 	if cfg.Kind != config.InOrder {
 		return nil, fmt.Errorf("inorder: model %s is not an in-order core", cfg.Name)
 	}
-	return &Core{
+	co := &Core{
 		cfg:   cfg,
 		trace: trace,
 		mem:   mem.NewHierarchy(cfg.Mem),
@@ -76,7 +82,12 @@ func New(cfg config.Model, trace core.Trace) (*Core, error) {
 		intFU: make([]int64, cfg.IntFUs),
 		memFU: make([]int64, cfg.MemFUs),
 		fpFU:  make([]int64, cfg.FPFUs),
-	}, nil
+	}
+	if bt, ok := trace.(core.BatchTrace); ok {
+		co.batcher = bt
+		co.batchBuf = make([]emu.Record, 0, traceBatch)
+	}
+	return co, nil
 }
 
 // Run simulates to completion and returns the collected statistics.
@@ -117,6 +128,20 @@ func (co *Core) nextRec() (emu.Record, bool) {
 	}
 	if co.traceDone {
 		return emu.Record{}, false
+	}
+	if co.batcher != nil {
+		if co.batchHead == len(co.batchBuf) {
+			n := co.batcher.NextBatch(co.batchBuf[:cap(co.batchBuf)])
+			co.batchBuf = co.batchBuf[:n]
+			co.batchHead = 0
+			if n == 0 {
+				co.traceDone = true
+				return emu.Record{}, false
+			}
+		}
+		r := co.batchBuf[co.batchHead]
+		co.batchHead++
+		return r, true
 	}
 	r, ok := co.trace.Next()
 	if !ok {
@@ -301,3 +326,7 @@ func (co *Core) issue() {
 		co.c.CommittedByClass[cls]++
 	}
 }
+
+// traceBatch is the refill size used when the trace supports batching
+// (matches the out-of-order front end).
+const traceBatch = 64

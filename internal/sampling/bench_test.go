@@ -1,0 +1,35 @@
+package sampling
+
+// End-to-end sampled-simulation benchmark: functional fast-forward
+// (dominant, via the emulator's block-stepping fast path) interleaved
+// with parallel detailed windows through the sweep engine. The reported
+// ff-Minst/s metric is Summary.Sweep.FFInstsPerSec — the number to watch
+// when tuning the fast-forward path, since skips outnumber detailed
+// instructions by the sampling ratio.
+
+import (
+	"testing"
+
+	"fxa/internal/config"
+	"fxa/internal/workload"
+)
+
+func BenchmarkSamplingEndToEnd(b *testing.B) {
+	w, ok := workload.ByName("hmmer")
+	if !ok {
+		b.Fatal("unknown workload")
+	}
+	cfg := Config{Intervals: 4, IntervalInsts: 5_000, SkipInsts: 100_000}
+	b.ReportAllocs()
+	var last Summary
+	for i := 0; i < b.N; i++ {
+		sum, err := Run(config.HalfFX(), w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sum
+	}
+	total := uint64(cfg.Intervals)*cfg.IntervalInsts + last.FFInsts()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/inst")
+	b.ReportMetric(last.Sweep.FFInstsPerSec()/1e6, "ff-Minst/s")
+}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"fxa/internal/config"
 	"fxa/internal/core"
@@ -62,7 +63,20 @@ type Summary struct {
 	// MeanIPC and IPCStdDev describe the per-interval IPC distribution.
 	MeanIPC   float64
 	IPCStdDev float64
+	// Sweep reports run metrics for the whole sampled simulation: the
+	// detailed-window engine stats plus the functional fast-forward
+	// accounted in FFInsts/FFTime (fast-forward dominates sampled wall
+	// clock, so Sweep.FFInstsPerSec is the number to watch when tuning).
+	Sweep sweep.Stats
 }
+
+// FFInsts returns how many instructions the functional machine advanced
+// outside the detailed windows' engine jobs (skips plus the serial
+// window-region advance).
+func (s *Summary) FFInsts() uint64 { return s.Sweep.FFInsts }
+
+// FFWall returns the wall-clock time spent in functional fast-forward.
+func (s *Summary) FFWall() time.Duration { return s.Sweep.FFTime }
 
 // CoV returns the coefficient of variation of per-interval IPC — a cheap
 // confidence signal (low CoV: the windows agree).
@@ -87,11 +101,34 @@ func Run(m config.Model, w workload.Params, cfg Config) (Summary, error) {
 	if err != nil {
 		return sum, err
 	}
-	machine := emu.New(prog)
+	return run(m, w.Name, emu.New(prog), cfg)
+}
+
+// run is the machine-taking body of Run, split out so tests can inject a
+// machine whose program triggers fast-forward or window errors.
+func run(m config.Model, wname string, machine *emu.Machine, cfg Config) (Summary, error) {
+	var sum Summary
 	var jobs []sweep.Job
+	var ffInsts uint64
+	var ffTime time.Duration
+	// ff advances the shared machine functionally, accounting the
+	// instructions and wall time and attaching window context to errors
+	// (a bare emu error names a PC but not which part of the schedule
+	// reached it).
+	ff := func(insts uint64, stage string, window int) error {
+		t0 := time.Now()
+		n, err := machine.Run(insts)
+		ffTime += time.Since(t0)
+		ffInsts += n
+		if err != nil {
+			return fmt.Errorf("sampling: %s window %d (PC %#x): %w",
+				stage, window, machine.PC, err)
+		}
+		return nil
+	}
 	for i := 0; i < cfg.Intervals; i++ {
 		if cfg.SkipInsts > 0 {
-			if _, err := machine.Run(cfg.SkipInsts); err != nil {
+			if err := ff(cfg.SkipInsts, "fast-forward before", i); err != nil {
 				return sum, err
 			}
 		}
@@ -104,29 +141,36 @@ func Run(m config.Model, w workload.Params, cfg Config) (Summary, error) {
 		// of the window on its clone follows the identical path).
 		snap := machine.Clone()
 		limit := machine.InstCount + cfg.IntervalInsts
+		window, entryPC := i, machine.PC
 		jobs = append(jobs, sweep.Job{
-			Label: fmt.Sprintf("%s/%s window %d", w.Name, m.Name, i),
+			Label: fmt.Sprintf("%s/%s window %d", wname, m.Name, i),
 			Run: func(context.Context) (core.Result, error) {
 				stream := emu.NewStream(snap, limit)
 				res, err := runOne(m, stream)
-				if err != nil {
-					return core.Result{}, err
+				if err == nil {
+					err = stream.Err()
 				}
-				if terr := stream.Err(); terr != nil {
-					return core.Result{}, terr
+				if err != nil {
+					// The stream error names the faulting PC; add which
+					// window reached it and where that window entered.
+					return core.Result{}, fmt.Errorf(
+						"sampling: window %d (entry PC %#x): %w",
+						window, entryPC, err)
 				}
 				return res, nil
 			},
 		})
-		if _, err := machine.Run(cfg.IntervalInsts); err != nil {
+		if err := ff(cfg.IntervalInsts, "advance through", i); err != nil {
 			return sum, err
 		}
 	}
 	if len(jobs) == 0 {
 		return sum, fmt.Errorf("sampling: workload halted before the first window")
 	}
-	results, _, err := sweep.Run(context.Background(), jobs,
+	results, st, err := sweep.Run(context.Background(), jobs,
 		sweep.Options{Workers: cfg.Workers})
+	st.FFInsts, st.FFTime = ffInsts, ffTime
+	sum.Sweep = st
 	if err != nil {
 		return sum, err
 	}

@@ -2,9 +2,14 @@ package sampling
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
+	"fxa/internal/asm"
 	"fxa/internal/config"
+	"fxa/internal/emu"
+	"fxa/internal/isa"
+	"fxa/internal/sweep"
 	"fxa/internal/workload"
 )
 
@@ -71,6 +76,61 @@ func TestSamplingValidation(t *testing.T) {
 	}
 }
 
+// badWordMachine builds a machine whose program is straight-line nops with
+// one undecodable word at dynamic-instruction index badAt, so the sampling
+// schedule hits it at a precisely known point.
+func badWordMachine(t *testing.T, badAt int) *emu.Machine {
+	t.Helper()
+	src := strings.Repeat("\tnop\n", 40) + "\thalt\n"
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := uint32(0xffffffff)
+	for {
+		if _, derr := isa.Decode(bad); derr != nil {
+			break
+		}
+		bad--
+	}
+	m := emu.New(prog)
+	m.Mem.Write32(prog.Entry+uint64(badAt)*4, bad)
+	return m
+}
+
+// TestSamplingErrorNamesWindow pins the error-context contract: a failure
+// during the sampling schedule must say which window and which stage of
+// the schedule reached the faulting PC, not just the bare emulator error.
+func TestSamplingErrorNamesWindow(t *testing.T) {
+	// Schedule: skip 3 (insts 0-2), window 4 (insts 3-6), skip 3
+	// (7-9), window 4 (10-13), ...
+	cfg := Config{Intervals: 3, IntervalInsts: 4, SkipInsts: 3}
+	cases := []struct {
+		name  string
+		badAt int
+		want  string
+	}{
+		{"in-first-skip", 1, "fast-forward before window 0"},
+		{"in-first-window", 4, "advance through window 0"},
+		{"in-second-skip", 8, "fast-forward before window 1"},
+		{"in-second-window", 12, "advance through window 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := run(config.Big(), "t", badWordMachine(t, c.badAt), cfg)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not name %q", err, c.want)
+			}
+			if !strings.Contains(err.Error(), "PC 0x") {
+				t.Errorf("error %q does not name the faulting PC", err)
+			}
+		})
+	}
+}
+
 func TestParallelSamplingMatchesSerial(t *testing.T) {
 	w, _ := workload.ByName("hmmer")
 	cfg := Config{Intervals: 6, IntervalInsts: 8_000, SkipInsts: 12_000}
@@ -85,6 +145,15 @@ func TestParallelSamplingMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Run metrics (wall clock, worker count, allocation deltas) differ
+	// between runs by nature; the determinism contract covers the
+	// simulation results. But both schedules must have fast-forwarded the
+	// same instruction stream.
+	if serial.FFInsts() != parallel.FFInsts() || serial.FFInsts() == 0 {
+		t.Fatalf("fast-forward insts: serial %d, parallel %d",
+			serial.FFInsts(), parallel.FFInsts())
+	}
+	serial.Sweep, parallel.Sweep = sweep.Stats{}, sweep.Stats{}
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatal("parallel sampling differs from serial sampling")
 	}

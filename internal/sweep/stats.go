@@ -27,6 +27,16 @@ type Stats struct {
 	// bound.
 	Allocs     uint64
 	AllocBytes uint64
+
+	// FFInsts and FFTime account the functional fast-forward that fed
+	// the sweep, when the caller did any (sampled simulation advances a
+	// functional machine serially between detailed windows; see
+	// internal/sampling). The engine itself never fast-forwards, so
+	// Run leaves them zero — callers that interleave fast-forward with
+	// job submission fill them in on the returned Stats so one struct
+	// describes the whole end-to-end run.
+	FFInsts uint64
+	FFTime  time.Duration
 }
 
 // AllocsPerKInst returns heap allocations per thousand committed
@@ -47,6 +57,16 @@ func (s Stats) InstsPerSec() float64 {
 	return float64(s.SimInsts) / s.Wall.Seconds()
 }
 
+// FFInstsPerSec returns the functional fast-forward throughput in
+// instructions per second of fast-forward wall time (0 when the run did
+// no fast-forwarding).
+func (s Stats) FFInstsPerSec() float64 {
+	if s.FFTime <= 0 {
+		return 0
+	}
+	return float64(s.FFInsts) / s.FFTime.Seconds()
+}
+
 // String renders a one-line human-readable summary, e.g.
 //
 //	145 jobs in 2.31s (8 workers): 140 run, 5 cache hits, 42.0 Minst, 18.2 Minst/s
@@ -60,6 +80,10 @@ func (s Stats) String() string {
 		float64(s.SimInsts)/1e6, s.InstsPerSec()/1e6)
 	if s.Allocs > 0 && s.SimInsts > 0 {
 		line += fmt.Sprintf(", %.1f allocs/Kinst", s.AllocsPerKInst())
+	}
+	if s.FFInsts > 0 {
+		line += fmt.Sprintf(", ff %.1f Minst at %.0f Minst/s",
+			float64(s.FFInsts)/1e6, s.FFInstsPerSec()/1e6)
 	}
 	if s.Errors > 0 {
 		line += fmt.Sprintf(", %d errors", s.Errors)
