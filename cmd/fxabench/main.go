@@ -8,6 +8,16 @@
 //	         [-experiment all|table1|table2|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|headline]
 //	         [-format text|csv|markdown] [-q]
 //	         [-cpuprofile file] [-memprofile file]
+//	fxabench -intervals N [-workload W] [-model M] [-n insts] [-warmup insts]
+//	         [-format text|csv|json]
+//
+// With -intervals N, fxabench switches to single-run mode: it simulates
+// one workload on one model with the engine layer's interval-metrics
+// collection enabled and prints the per-interval time series (IPC, IXU
+// rate, branch/L1D/L2 MPKI, ROB/IQ occupancy) roughly every N committed
+// instructions. The interval counter deltas partition the run exactly —
+// the text rendering's totals line reconciles them against the final
+// counters, and -format json emits the full schema-versioned Result.
 //
 // With -warmup, the main sweep fast-forwards each (workload, model) cell
 // functionally (emulator only, no timing) before its detailed window — the
@@ -39,6 +49,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +61,7 @@ import (
 
 	"fxa"
 	"fxa/internal/energy"
+	"fxa/internal/report"
 )
 
 // exitHooks run before any process exit (normal return or fatal), because
@@ -76,7 +88,8 @@ var validExperiments = []string{
 	"fig10", "fig11", "fig12", "fig13", "headline",
 }
 
-// validFormats lists the accepted -format values.
+// validFormats lists the accepted -format values ("json" additionally
+// works for the single-run -intervals mode).
 var validFormats = []string{"text", "csv", "markdown"}
 
 func main() {
@@ -91,13 +104,16 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "result cache directory (implies -cache; default $XDG_CACHE_HOME/fxabench)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	intervals := flag.Uint64("intervals", 0, "single-run mode: collect interval metrics every N committed instructions (requires -workload/-model)")
+	workloadName := flag.String("workload", "libquantum", "workload for -intervals mode")
+	modelName := flag.String("model", "HALF+FX", "processor model for -intervals mode")
 	flag.Parse()
 
 	if !contains(validExperiments, *exp) {
 		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(validExperiments, ", ")))
 	}
-	if !contains(validFormats, *format) {
-		fatal(fmt.Errorf("unknown format %q (valid: %s)", *format, strings.Join(validFormats, ", ")))
+	if !contains(validFormats, *format) && !(*format == "json" && *intervals > 0) {
+		fatal(fmt.Errorf("unknown format %q (valid: %s; json with -intervals)", *format, strings.Join(validFormats, ", ")))
 	}
 	switch *ffmode {
 	case "fast":
@@ -137,6 +153,13 @@ func main() {
 		})
 	}
 	defer runExitHooks()
+
+	if *intervals > 0 {
+		if err := runIntervals(*modelName, *workloadName, *n, *warmup, *intervals, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	opts := fxa.SweepOptions{Workers: *workers}
 	if *useCache || *cacheDir != "" {
@@ -317,4 +340,41 @@ func fatal(err error) {
 	runExitHooks()
 	fmt.Fprintln(os.Stderr, "fxabench:", err)
 	os.Exit(1)
+}
+
+// runIntervals is the single-run -intervals mode: simulate one workload
+// on one model with interval-metrics collection and emit the series as
+// text, csv or json. The text and csv renderings come from
+// internal/report; json emits the full schema-versioned Result.
+func runIntervals(modelName, workloadName string, n, warmup, every uint64, format string) error {
+	m, err := fxa.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	w, err := fxa.WorkloadByName(workloadName)
+	if err != nil {
+		return err
+	}
+	trace, err := w.NewTraceWarm(warmup, n)
+	if err != nil {
+		return err
+	}
+	res, err := fxa.RunTraceIntervals(context.Background(), m, trace, every)
+	if err != nil {
+		return fmt.Errorf("%s on %s: %w", m.Name, w.Name, err)
+	}
+	if terr := trace.Err(); terr != nil {
+		return fmt.Errorf("%s trace: %w", w.Name, terr)
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&res)
+	case "csv":
+		report.IntervalsCSV(os.Stdout, &res)
+	default:
+		report.Intervals(os.Stdout, &res)
+	}
+	return nil
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -87,8 +88,8 @@ func main() {
 			fatal(err)
 		}
 		tx := pipetrace.NewText(*pipeview)
-		co.SetTracer(tx)
-		res, err = co.Run()
+		co.SetProbe(tx)
+		res, err = co.Run(context.Background())
 		if err != nil {
 			fatal(err)
 		}
@@ -111,8 +112,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		co.SetTracer(k)
-		res, err = co.Run()
+		co.SetProbe(k)
+		res, err = co.Run(context.Background())
 		if err != nil {
 			fatal(err)
 		}

@@ -87,30 +87,39 @@ func runJob(m Model, w Workload, warmup, maxInsts uint64, ff *ffMeter) sweep.Job
 	return sweep.Job{
 		Label:       w.Name + "/" + m.Name,
 		Fingerprint: simFingerprint{Kind: "run", Model: m, Workload: w, Warmup: warmup, MaxInsts: maxInsts},
-		Run: func(context.Context) (Result, error) {
+		Run: func(ctx context.Context) (Result, error) {
+			// The job's ctx reaches the engine layer, so cancelling the
+			// sweep interrupts an in-flight simulation within a few
+			// thousand simulated cycles instead of waiting it out.
+			var trace *emu.Stream
 			if warmup == 0 {
-				return Run(m, w, maxInsts)
+				t, err := w.NewTrace(maxInsts)
+				if err != nil {
+					return Result{}, err
+				}
+				trace = t
+			} else {
+				prog, err := w.Build()
+				if err != nil {
+					return Result{}, err
+				}
+				// Time only the emulator's fast-forward, not program build
+				// or machine setup, so Stats.FFInstsPerSec reports the
+				// fast path's real throughput.
+				machine := emu.New(prog)
+				t0 := time.Now()
+				n, err := machine.Run(warmup)
+				ff.add(n, time.Since(t0))
+				if err != nil {
+					return Result{}, fmt.Errorf("fxa: %s on %s: warmup: %w", m.Name, w.Name, err)
+				}
+				limit := maxInsts
+				if limit > 0 {
+					limit += machine.InstCount
+				}
+				trace = emu.NewStream(machine, limit)
 			}
-			prog, err := w.Build()
-			if err != nil {
-				return Result{}, err
-			}
-			// Time only the emulator's fast-forward, not program build
-			// or machine setup, so Stats.FFInstsPerSec reports the
-			// fast path's real throughput.
-			machine := emu.New(prog)
-			t0 := time.Now()
-			n, err := machine.Run(warmup)
-			ff.add(n, time.Since(t0))
-			if err != nil {
-				return Result{}, fmt.Errorf("fxa: %s on %s: warmup: %w", m.Name, w.Name, err)
-			}
-			limit := maxInsts
-			if limit > 0 {
-				limit += machine.InstCount
-			}
-			trace := emu.NewStream(machine, limit)
-			res, err := RunTrace(m, trace)
+			res, err := RunTraceContext(ctx, m, trace)
 			if err != nil {
 				return Result{}, fmt.Errorf("fxa: %s on %s: %w", m.Name, w.Name, err)
 			}

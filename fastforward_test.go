@@ -9,6 +9,7 @@ package fxa
 // over the full workload surface the simulator actually ships.
 
 import (
+	"reflect"
 	"testing"
 
 	"fxa/internal/asm"
@@ -92,7 +93,7 @@ func TestRunWarmModeInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fast != slow {
+	if !reflect.DeepEqual(fast, slow) {
 		t.Fatalf("warmed run differs between fast-forward modes:\nfast: %+v\nstep: %+v", fast, slow)
 	}
 }

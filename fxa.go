@@ -16,15 +16,20 @@
 package fxa
 
 import (
+	"context"
 	"fmt"
 
 	"fxa/internal/config"
-	"fxa/internal/core"
 	"fxa/internal/emu"
-	"fxa/internal/inorder"
+	"fxa/internal/engine"
 	"fxa/internal/sampling"
 	"fxa/internal/sweep"
 	"fxa/internal/workload"
+
+	// Blank imports register the timing cores with the engine layer; the
+	// public API never names a core package.
+	_ "fxa/internal/core"
+	_ "fxa/internal/inorder"
 )
 
 // SweepOptions configures the simulation-orchestration engine used by
@@ -82,8 +87,17 @@ type Model = config.Model
 // Workload is a synthetic SPEC CPU 2006 proxy program description.
 type Workload = workload.Params
 
-// Result carries the statistics of one simulation run.
-type Result = core.Result
+// Result carries the statistics of one simulation run. It is the engine
+// layer's schema-versioned result (engine.Result): JSON-serializable, with
+// an optional per-interval metrics series (see RunTraceIntervals).
+type Result = engine.Result
+
+// Interval is one entry of a Result's interval-metrics series: the
+// counter deltas over a stretch of roughly IntervalInsts committed
+// instructions, plus an instantaneous ROB/IQ occupancy sample at the
+// interval boundary. Summing every interval's counters reproduces the
+// run's final counters exactly.
+type Interval = engine.Interval
 
 // The five evaluation models of Section VI-B.
 var (
@@ -137,6 +151,12 @@ func RunCompiled(m Model, c CompiledWorkload, maxInsts uint64) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("fxa: %s on %s: %w", m.Name, c.Name, err)
 	}
+	if terr := trace.Err(); terr != nil {
+		// A trace that faulted mid-run (emulator error) truncates silently
+		// from the timing model's point of view; surface it like Run and
+		// RunWarm do.
+		return Result{}, fmt.Errorf("fxa: %s trace: %w", c.Name, terr)
+	}
 	return res, nil
 }
 
@@ -150,8 +170,9 @@ func WorkloadByName(name string) (Workload, error) {
 }
 
 // Run simulates maxInsts dynamic instructions of w on model m and returns
-// the collected statistics. It dispatches to the out-of-order timing model
-// (internal/core) or the in-order one (internal/inorder) by m.Kind.
+// the collected statistics. The timing model (out-of-order internal/core
+// or in-order internal/inorder) is resolved through the engine registry
+// by m.Kind.
 func Run(m Model, w Workload, maxInsts uint64) (Result, error) {
 	trace, err := w.NewTrace(maxInsts)
 	if err != nil {
@@ -203,22 +224,28 @@ func Sample(m Model, w Workload, cfg SamplingConfig) (SamplingSummary, error) {
 
 // RunTrace simulates an arbitrary dynamic instruction stream on model m.
 // Use this to run programs assembled with internal/asm conventions via
-// your own emulator setup.
+// your own emulator setup. The timing model is looked up in the engine
+// registry by m.Kind — no core package is named here.
 func RunTrace(m Model, trace *emu.Stream) (Result, error) {
-	switch m.Kind {
-	case config.OutOfOrder:
-		co, err := core.New(m, trace)
-		if err != nil {
-			return Result{}, err
-		}
-		return co.Run()
-	case config.InOrder:
-		co, err := inorder.New(m, trace)
-		if err != nil {
-			return Result{}, err
-		}
-		return co.Run()
-	default:
-		return Result{}, fmt.Errorf("fxa: unknown core kind %d", m.Kind)
+	return RunTraceContext(context.Background(), m, trace)
+}
+
+// RunTraceContext is RunTrace under a context: cancelling ctx interrupts
+// the simulation within a few thousand simulated cycles and returns ctx's
+// error.
+func RunTraceContext(ctx context.Context, m Model, trace *emu.Stream) (Result, error) {
+	return engine.Run(ctx, m, trace)
+}
+
+// RunTraceIntervals is RunTraceContext with interval-metrics collection:
+// the returned Result carries a series of counter-delta snapshots cut
+// roughly every intervalInsts committed instructions (Result.Intervals).
+// The series partitions the run exactly — summing every interval's
+// counters reproduces the final counters.
+func RunTraceIntervals(ctx context.Context, m Model, trace *emu.Stream, intervalInsts uint64) (Result, error) {
+	e, err := engine.New(m, trace)
+	if err != nil {
+		return Result{}, err
 	}
+	return engine.Drive(ctx, e, engine.Options{IntervalInsts: intervalInsts})
 }

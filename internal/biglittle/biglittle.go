@@ -13,13 +13,16 @@
 package biglittle
 
 import (
-	"fmt"
+	"context"
 
 	"fxa/internal/config"
-	"fxa/internal/core"
 	"fxa/internal/energy"
-	"fxa/internal/inorder"
+	"fxa/internal/engine"
 	"fxa/internal/workload"
+
+	// Blank imports register the timing cores with the engine layer.
+	_ "fxa/internal/core"
+	_ "fxa/internal/inorder"
 )
 
 // Demand classifies a phase.
@@ -87,28 +90,9 @@ func (s System) Run(phases []Phase) (Report, error) {
 		if err != nil {
 			return rep, err
 		}
-		var res core.Result
-		switch m.Kind {
-		case config.OutOfOrder:
-			co, err := core.New(m, trace)
-			if err != nil {
-				return rep, err
-			}
-			res, err = co.Run()
-			if err != nil {
-				return rep, err
-			}
-		case config.InOrder:
-			co, err := inorder.New(m, trace)
-			if err != nil {
-				return rep, err
-			}
-			res, err = co.Run()
-			if err != nil {
-				return rep, err
-			}
-		default:
-			return rep, fmt.Errorf("biglittle: unknown core kind %d", m.Kind)
+		res, err := engine.Run(context.Background(), m, trace)
+		if err != nil {
+			return rep, err
 		}
 		e := energy.Estimate(m, dev, res)
 		pr := PhaseResult{

@@ -243,7 +243,7 @@ func (co *Core) commit() {
 		} else {
 			co.c.OXUExec++
 		}
-		co.lastCommit = co.cycle
+		co.wd.Progress(co.cycle)
 
 		// Release outgoing references and the pipeline-residency
 		// reference. The uop itself is only recycled once nothing else

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,7 +39,7 @@ func benchRun(b *testing.B, m config.Model, name string, insts uint64) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res, err := co.Run()
+		res, err := co.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

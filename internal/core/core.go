@@ -14,50 +14,30 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fxa/internal/bpred"
 	"fxa/internal/config"
 	"fxa/internal/emu"
+	"fxa/internal/engine"
 	"fxa/internal/isa"
 	"fxa/internal/mem"
 	"fxa/internal/stats"
 )
 
-// Trace supplies committed-path dynamic instruction records.
-type Trace interface {
-	Next() (emu.Record, bool)
-}
+// Trace supplies committed-path dynamic instruction records. It is the
+// engine layer's trace interface; the alias remains for the package's
+// historical API surface.
+type Trace = engine.Trace
 
-// BatchTrace is an optional extension of Trace. NextBatch fills buf with
-// the next records and returns how many it produced, allowing a front
-// end to pay the per-record interface-call overhead once per batch. A
-// zero return means the trace ended; a short non-zero return is legal
-// (the consumer simply refills later). The record sequence must be
-// exactly what repeated Next calls would yield. emu.Stream implements
-// this; the front ends detect it with a type assertion at construction
-// and fall back to Next otherwise.
-type BatchTrace interface {
-	Trace
-	NextBatch(buf []emu.Record) int
-}
+// BatchTrace is the optional batched extension of Trace (see
+// engine.BatchTrace); emu.Stream implements it.
+type BatchTrace = engine.BatchTrace
 
-// traceBatch is the refill size used when the trace supports batching:
-// large enough to amortize the call, small enough that the buffer stays
-// resident in L1 (64 records × 32 B = 2 KiB).
-const traceBatch = 64
-
-// Result bundles everything a simulation run produces.
-type Result struct {
-	Model    string
-	Counters stats.Counters
-	L1I      mem.CacheStats
-	L1D      mem.CacheStats
-	L2       mem.CacheStats
-	DRAM     uint64
-	Bpred    bpred.Stats
-	StoreSet bpred.StoreSetStats
-}
+// Result bundles everything a simulation run produces. It is the
+// engine layer's schema-versioned result type (see engine.Result).
+type Result = engine.Result
 
 // minIssueDelay is the dispatch-to-earliest-issue depth of the scheduling
 // pipeline (wakeup/select/payload stages). Together with
@@ -69,20 +49,21 @@ const minIssueDelay = 2
 // violation flush beyond the redirect latency.
 const violationRecovery = 2
 
-// deadlockWindow is the number of cycles without a commit after which the
-// simulator reports a model bug instead of spinning forever.
-const deadlockWindow = 200_000
-
-// Core is one out-of-order (optionally FXA) core simulation.
+// Core is one out-of-order (optionally FXA) core simulation. It
+// implements engine.Engine (plus the Aborter, OccupancyReporter and
+// ProbeAttacher extensions) and registers itself for config.OutOfOrder
+// from init.
 type Core struct {
-	cfg   config.Model
-	trace Trace
-	mem   *mem.Hierarchy
-	bp    *bpred.Predictor
-	ss    *bpred.StoreSet
-	c     stats.Counters
+	cfg config.Model
+	mem *mem.Hierarchy
+	bp  *bpred.Predictor
+	ss  *bpred.StoreSet
+	c   stats.Counters
 
 	cycle int64
+
+	// wd is the shared deadlock watchdog (progress = a commit).
+	wd engine.Watchdog
 
 	// Fetch state.
 	replay     []emu.Record // flushed records awaiting re-fetch, in order
@@ -92,15 +73,11 @@ type Core struct {
 	blockingBr *uop         // unresolved mispredicted branch gating fetch
 	blockStart int64        // cycle fetch became blocked (for wrong-path accounting)
 	lastLine   uint64       // last I-cache line fetched (+1 so 0 means none)
-	traceDone  bool
-	pendingRec emu.Record // record fetched from trace but not yet issued to pipeline
+	pendingRec emu.Record   // record fetched from trace but not yet issued to pipeline
 	hasPending bool
 
-	// Batched trace consumption (nil/empty when the trace only supports
-	// Next): live records are batchBuf[batchHead:len(batchBuf)].
-	batcher   BatchTrace
-	batchBuf  []emu.Record
-	batchHead int
+	// tr is the shared batched-trace consumer (engine layer).
+	tr engine.TraceReader
 
 	// Front-end delay line: fetched uops waiting to reach rename.
 	feQueue uopRing
@@ -140,8 +117,6 @@ type Core struct {
 	// memory-level parallelism (Model.MSHRs).
 	mshrFree []int64
 
-	lastCommit int64
-
 	// debug, when non-nil, is invoked at the end of every simulated cycle.
 	debug func()
 
@@ -160,7 +135,6 @@ func New(cfg config.Model, trace Trace) (*Core, error) {
 	}
 	co := &Core{
 		cfg:   cfg,
-		trace: trace,
 		mem:   mem.NewHierarchy(cfg.Mem),
 		bp:    bpred.New(cfg.Bpred),
 		ss:    bpred.NewStoreSet(4096, 256),
@@ -175,10 +149,7 @@ func New(cfg config.Model, trace Trace) (*Core, error) {
 	co.sq = newUopRing(cfg.SQEntries)
 	co.feQueue = newUopRing((int(co.frontDepth()) + 2) * cfg.FetchWidth)
 	co.iq = make([]*uop, 0, cfg.IQEntries)
-	if bt, ok := trace.(BatchTrace); ok {
-		co.batcher = bt
-		co.batchBuf = make([]emu.Record, 0, traceBatch)
-	}
+	co.tr = engine.NewTraceReader(trace)
 	if cfg.FX {
 		co.ixu = make([][]*uop, cfg.IXU.Stages())
 		for i := range co.ixu {
@@ -202,10 +173,29 @@ func (co *Core) frontDepth() int64 {
 	return d
 }
 
+// init registers the out-of-order core with the engine layer, so any
+// package that (blank-)imports internal/core can construct it through
+// engine.New without referring to this package's API.
+func init() {
+	engine.Register(config.OutOfOrder, func(m config.Model, t engine.Trace) (engine.Engine, error) {
+		return New(m, t)
+	})
+}
+
 // Run simulates until the trace is exhausted and the pipeline drains,
-// returning the collected statistics.
-func (co *Core) Run() (Result, error) {
-	for {
+// returning the collected statistics. It delegates to engine.Drive, so
+// cancelling ctx interrupts the run within engine.DefaultCheckEvery
+// simulated cycles.
+func (co *Core) Run(ctx context.Context) (Result, error) {
+	return engine.Drive(ctx, co, engine.Options{})
+}
+
+// Step advances the simulation by at most nCycles cycles (engine.Engine).
+// It returns done=true once the trace is exhausted and the pipeline has
+// drained, or an error if the timing model stops making progress for
+// engine.DeadlockWindow cycles.
+func (co *Core) Step(nCycles int64) (bool, error) {
+	for n := int64(0); n < nCycles; n++ {
 		co.cycle++
 		co.memPortsThisCycle = 0
 		co.commit()
@@ -218,27 +208,52 @@ func (co *Core) Run() (Result, error) {
 		if co.debug != nil {
 			co.debug()
 		}
-		if co.traceDone && co.rob.Len() == 0 && co.feQueue.Len() == 0 && co.ixuEmpty() &&
+		if co.tr.Done() && co.rob.Len() == 0 && co.feQueue.Len() == 0 && co.ixuEmpty() &&
 			co.replayHead == len(co.replay) && !co.hasPending {
-			break
+			return true, nil
 		}
-		if co.cycle-co.lastCommit > deadlockWindow {
-			return Result{}, fmt.Errorf("core: %s deadlocked at cycle %d (rob=%d iq=%d fe=%d)",
-				co.cfg.Name, co.cycle, co.rob.Len(), len(co.iq), co.feQueue.Len())
+		if co.wd.Stuck(co.cycle) {
+			return false, co.wd.Fail(co.cfg.Name, co.cycle,
+				fmt.Sprintf("rob=%d iq=%d fe=%d", co.rob.Len(), len(co.iq), co.feQueue.Len()))
 		}
 	}
-	co.c.Cycles = uint64(co.cycle)
-	res := Result{
-		Model:    co.cfg.Name,
-		Counters: co.c,
-		L1I:      co.mem.L1I.Stats,
-		L1D:      co.mem.L1D.Stats,
-		L2:       co.mem.L2.Stats,
-		DRAM:     co.mem.DRAM.Accesses,
-		Bpred:    co.bp.Stats,
-		StoreSet: co.ss.Stats,
+	return false, nil
+}
+
+// Result assembles the statistics collected so far (engine.Engine). It is
+// idempotent and safe to call mid-run.
+func (co *Core) Result() Result {
+	c := co.c
+	c.Cycles = uint64(co.cycle)
+	return Result{
+		SchemaVersion: engine.ResultSchemaVersion,
+		Model:         co.cfg.Name,
+		Counters:      c,
+		L1I:           co.mem.L1I.Stats,
+		L1D:           co.mem.L1D.Stats,
+		L2:            co.mem.L2.Stats,
+		DRAM:          co.mem.DRAM.Accesses,
+		Bpred:         co.bp.Stats,
+		StoreSet:      co.ss.Stats,
 	}
-	return res, nil
+}
+
+// Occupancy reports instantaneous ROB and issue-queue occupancy
+// (engine.OccupancyReporter).
+func (co *Core) Occupancy() (rob, iq int) { return co.rob.Len(), len(co.iq) }
+
+// Abort releases every in-flight uop back to the pool after an
+// interrupted run (engine.Aborter). It reuses the memory-violation flush
+// machinery with seq 0, which squashes the whole window, rebuilds an
+// empty RAT, and returns every physical register; the queued replay
+// records are then discarded. The counters are polluted by the flush
+// accounting, which is fine — a cancelled run's result is discarded.
+func (co *Core) Abort() {
+	co.flushFrom(0, co.cycle)
+	co.replay = co.replay[:0]
+	co.replayHead = 0
+	co.hasPending = false
+	co.blockingBr = nil
 }
 
 func (co *Core) ixuEmpty() bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func runModel(t *testing.T, m config.Model, src string) Result {
 	if err != nil {
 		t.Fatalf("new core: %v", err)
 	}
-	res, err := co.Run()
+	res, err := co.Run(context.Background())
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

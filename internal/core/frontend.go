@@ -27,28 +27,7 @@ func (co *Core) nextRec() (emu.Record, bool) {
 		}
 		return r, true
 	}
-	if co.traceDone {
-		return emu.Record{}, false
-	}
-	if co.batcher != nil {
-		if co.batchHead == len(co.batchBuf) {
-			n := co.batcher.NextBatch(co.batchBuf[:cap(co.batchBuf)])
-			co.batchBuf = co.batchBuf[:n]
-			co.batchHead = 0
-			if n == 0 {
-				co.traceDone = true
-				return emu.Record{}, false
-			}
-		}
-		r := co.batchBuf[co.batchHead]
-		co.batchHead++
-		return r, true
-	}
-	r, ok := co.trace.Next()
-	if !ok {
-		co.traceDone = true
-	}
-	return r, ok
+	return co.tr.Next()
 }
 
 // ungetRec pushes a record back so the next fetch cycle retries it. The

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -131,7 +132,7 @@ func TestFuzzAllModelsMatchEmulator(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := co.Run()
+				res, err := co.Run(context.Background())
 				if err != nil {
 					t.Fatalf("seed %d on %s: %v", seed, m.Name, err)
 				}
@@ -182,7 +183,7 @@ func runWithInjectedFlushes(m config.Model, prog *asm.Program, flushSeed int64, 
 		injected++
 		next = co.cycle + int64(spacing) + int64(r.Intn(spacing))
 	}
-	res, err := co.Run()
+	res, err := co.Run(context.Background())
 	return co, res, injected, err
 }
 
@@ -318,7 +319,7 @@ loop:	ld r3, 0(r1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := co.Run()
+		res, err := co.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -357,7 +358,7 @@ loop:	div r3, r1, r2
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := co.Run()
+		res, err := co.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fxa/internal/config"
@@ -18,7 +19,7 @@ func TestProbeIXUMem(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := co.Run()
+		res, err := co.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,26 +1,22 @@
 package core
 
-// PipeTracer receives pipeline events for visualization. The canonical
-// implementation is internal/pipetrace, which writes the Kanata log format
-// readable by the Konata pipeline viewer (the visualizer ecosystem of the
-// paper's own research group).
-//
-// Every dynamic instruction instance gets a unique id; a flushed and
-// replayed instruction appears as a new instance carrying the same
-// program-order sequence number.
-type PipeTracer interface {
-	// Start announces a new in-flight instance.
-	Start(cycle int64, id uint64, seq uint64, pc uint64, disasm string)
-	// Stage marks the instance entering a pipeline stage this cycle
-	// (stages: F, Rn, X0..Xn, Ds, Is, Ex, Cm).
-	Stage(cycle int64, id uint64, stage string)
-	// Retire removes the instance: committed (flushed=false) or squashed
-	// by a replay (flushed=true).
-	Retire(cycle int64, id uint64, flushed bool)
-}
+import "fxa/internal/engine"
 
-// SetTracer attaches a pipeline tracer. Must be called before Run.
+// PipeTracer receives pipeline events for visualization. It is the engine
+// layer's Probe interface (see engine.Probe); the alias remains for the
+// package's historical API surface. The canonical implementation is
+// internal/pipetrace, which writes the Kanata log format readable by the
+// Konata pipeline viewer (the visualizer ecosystem of the paper's own
+// research group).
+type PipeTracer = engine.Probe
+
+// SetTracer attaches a pipeline tracer. Must be called before the first
+// Step.
 func (co *Core) SetTracer(t PipeTracer) { co.tracer = t }
+
+// SetProbe attaches a pipeline-event probe (engine.ProbeAttacher). It is
+// SetTracer under the engine layer's name.
+func (co *Core) SetProbe(p engine.Probe) { co.tracer = p }
 
 func (co *Core) traceStart(u *uop) {
 	if co.tracer == nil {

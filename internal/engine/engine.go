@@ -1,0 +1,208 @@
+// Package engine is the unified simulation-engine layer between the
+// cycle-level timing cores and everything that drives them. The paper
+// compares five models across two distinct timing substrates — the
+// out-of-order (optionally FXA) core of internal/core and the in-order
+// LITTLE core of internal/inorder — and before this layer existed every
+// caller (fxa.RunTrace, internal/sampling, internal/biglittle, the cmd/
+// tools) dispatched on config.CoreKind by hand while the two cores
+// duplicated their trace-batching and deadlock-watchdog front halves.
+//
+// The engine layer provides:
+//
+//   - Engine, the interface any timing model plugs into: Run(ctx) for a
+//     whole simulation, Step(nCycles) for bounded incremental driving,
+//     and Result() for (idempotent, mid-run-safe) statistics assembly;
+//   - a constructor registry keyed by config.CoreKind — the cores
+//     register themselves from init, so adding a model kind needs only
+//     an engine.Register call and no caller changes anywhere;
+//   - Drive, the shared run loop: cancellation checked every CheckEvery
+//     cycles (not per cycle, so the hot loop stays allocation- and
+//     branch-clean) and optional interval-metrics collection;
+//   - the shared front-half building blocks TraceReader (batched trace
+//     consumption) and Watchdog (deadlock detection);
+//   - the schema-versioned Result/Interval types consumed by the sweep
+//     cache, the golden suite and the reporting layer;
+//   - Probe, the pipeline-event observer interface implemented by
+//     internal/pipetrace.
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"fxa/internal/config"
+)
+
+// Engine is one pluggable cycle-level simulation: a timing model bound
+// to a model configuration and a dynamic-instruction trace.
+type Engine interface {
+	// Run simulates until the trace is exhausted and the pipeline
+	// drains, returning the collected statistics. Cancelling ctx
+	// interrupts the run within CheckEvery simulated cycles and returns
+	// ctx's error. Implementations delegate to Drive.
+	Run(ctx context.Context) (Result, error)
+
+	// Step advances the simulation by at most nCycles cycles. It
+	// returns done=true once the trace is exhausted and the pipeline
+	// has drained (the simulation is complete), or an error when the
+	// timing model wedges (see Watchdog). A done or failed engine must
+	// not be stepped again.
+	Step(nCycles int64) (done bool, err error)
+
+	// Result assembles the statistics collected so far. It is
+	// idempotent and safe to call mid-run — the interval collector
+	// snapshots it between Step slices.
+	Result() Result
+}
+
+// Aborter is an optional Engine extension: Abort releases every
+// in-flight simulation resource after an interrupted run. Drive invokes
+// it on cancellation so explicitly pooled engines (internal/core's uop
+// pool) do not leak instances that were mid-pipeline when the run
+// stopped; engines whose state is garbage-collected may omit it.
+type Aborter interface {
+	Abort()
+}
+
+// OccupancyReporter is an optional Engine extension exposing
+// instantaneous back-end structure occupancy (ROB and issue-queue
+// entries in flight) for interval observability. Engines without the
+// structures report what they have (the in-order core reports its
+// issue-queue depth as ROB occupancy) or may omit the interface.
+type OccupancyReporter interface {
+	Occupancy() (rob, iq int)
+}
+
+// Probe receives pipeline events from an engine for visualization — one
+// Start per in-flight dynamic instance, Stage transitions, and a Retire
+// (committed or squashed). The canonical implementation is
+// internal/pipetrace, which writes the Kanata log format readable by the
+// Konata pipeline viewer.
+//
+// Every dynamic instruction instance gets a unique id; a flushed and
+// replayed instruction appears as a new instance carrying the same
+// program-order sequence number.
+type Probe interface {
+	// Start announces a new in-flight instance.
+	Start(cycle int64, id uint64, seq uint64, pc uint64, disasm string)
+	// Stage marks the instance entering a pipeline stage this cycle
+	// (stages: F, Rn, X0..Xn, Ds, Is, Ex, Cm).
+	Stage(cycle int64, id uint64, stage string)
+	// Retire removes the instance: committed (flushed=false) or
+	// squashed by a replay (flushed=true).
+	Retire(cycle int64, id uint64, flushed bool)
+}
+
+// ProbeAttacher is an optional Engine extension for engines that can
+// stream pipeline events to a Probe. Attach before the first Step.
+type ProbeAttacher interface {
+	SetProbe(Probe)
+}
+
+// Constructor builds an engine for one model configuration fed by one
+// trace.
+type Constructor func(m config.Model, trace Trace) (Engine, error)
+
+// registry maps core kinds to their registered constructors. Written
+// only from package init functions (Register), read afterwards; no
+// locking needed.
+var registry = map[config.CoreKind]Constructor{}
+
+// Register installs the constructor for a core kind. Timing cores call
+// it from init; importing the core's package (even blank) is what makes
+// its kind constructible. Registering a kind twice is a programming
+// error and panics.
+func Register(kind config.CoreKind, c Constructor) {
+	if c == nil {
+		panic("engine: Register with nil constructor")
+	}
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("engine: core kind %d registered twice", kind))
+	}
+	registry[kind] = c
+}
+
+// New constructs the registered engine for m.Kind fed by trace.
+func New(m config.Model, trace Trace) (Engine, error) {
+	c, ok := registry[m.Kind]
+	if !ok {
+		return nil, fmt.Errorf("engine: no engine registered for core kind %d (import the implementing package)", m.Kind)
+	}
+	return c(m, trace)
+}
+
+// Run is the one-call entry point: construct the engine for m and drive
+// it to completion under ctx.
+func Run(ctx context.Context, m config.Model, trace Trace) (Result, error) {
+	e, err := New(m, trace)
+	if err != nil {
+		return Result{}, err
+	}
+	return Drive(ctx, e, Options{})
+}
+
+// DefaultCheckEvery is the default Step slice Drive uses between
+// cancellation (and interval) checks: large enough that the per-slice
+// bookkeeping vanishes against the per-cycle simulation work, small
+// enough that cancellation lands within a few milliseconds of simulated
+// work.
+const DefaultCheckEvery = 4096
+
+// Options configures one Drive invocation.
+type Options struct {
+	// IntervalInsts enables interval-metrics collection: a snapshot of
+	// the counter deltas roughly every IntervalInsts committed
+	// instructions (boundaries are observed at CheckEvery-cycle
+	// granularity, so each interval spans at least IntervalInsts
+	// instructions). 0 disables collection.
+	IntervalInsts uint64
+
+	// CheckEvery is the Step slice in cycles between cancellation and
+	// interval checks. <= 0 means DefaultCheckEvery.
+	CheckEvery int64
+}
+
+// Drive runs e to completion: repeated bounded Steps with a cancellation
+// check between slices and, when opts.IntervalInsts > 0, interval-
+// metrics snapshots attached to the returned Result.
+//
+// On cancellation Drive aborts the engine (Aborter, when implemented) so
+// pooled resources are released, and returns ctx's error.
+func Drive(ctx context.Context, e Engine, opts Options) (Result, error) {
+	check := opts.CheckEvery
+	if check <= 0 {
+		check = DefaultCheckEvery
+	}
+	var col *intervalCollector
+	if opts.IntervalInsts > 0 {
+		col = newIntervalCollector(e, opts.IntervalInsts)
+	}
+	done := ctx.Done()
+	for {
+		finished, err := e.Step(check)
+		if err != nil {
+			return Result{}, err
+		}
+		if finished {
+			break
+		}
+		if col != nil {
+			col.observe(e)
+		}
+		if done != nil {
+			select {
+			case <-done:
+				if a, ok := e.(Aborter); ok {
+					a.Abort()
+				}
+				return Result{}, ctx.Err()
+			default:
+			}
+		}
+	}
+	res := e.Result()
+	if col != nil {
+		res.Intervals = col.finish(e, &res)
+	}
+	return res, nil
+}

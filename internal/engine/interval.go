@@ -1,0 +1,56 @@
+package engine
+
+// intervalCollector accumulates the interval-metrics series during a
+// driven run. Drive calls observe between Step slices; when the
+// committed-instruction count crosses the next boundary the collector
+// cuts an interval holding the counter deltas since the previous cut,
+// plus an instantaneous occupancy sample. finish cuts the tail interval
+// so the series partitions the run exactly: summing every interval's
+// Counters reproduces the final Result's Counters bit-for-bit
+// (TestIntervalInvariant).
+type intervalCollector struct {
+	every uint64 // boundary spacing in committed instructions
+	next  uint64 // next boundary (committed instructions)
+	prev  Result // snapshot at the previous cut
+	ivs   []Interval
+}
+
+func newIntervalCollector(e Engine, every uint64) *intervalCollector {
+	c := &intervalCollector{every: every, next: every}
+	c.prev = e.Result() // position at the start of the run
+	return c
+}
+
+// observe snapshots the engine and cuts an interval when the committed
+// count has crossed the current boundary. Boundaries are re-anchored at
+// the observed count (not advanced by a fixed stride) so a slice that
+// jumps far past a boundary yields one long interval rather than a burst
+// of empty ones.
+func (c *intervalCollector) observe(e Engine) {
+	cur := e.Result()
+	if cur.Counters.Committed < c.next {
+		return
+	}
+	c.cut(e, &cur)
+	c.next = cur.Counters.Committed + c.every
+}
+
+// finish cuts the tail interval (the partial stretch since the last
+// boundary) against the final assembled result and returns the series.
+func (c *intervalCollector) finish(e Engine, final *Result) []Interval {
+	if final.Counters.Cycles != c.prev.Counters.Cycles ||
+		final.Counters.Committed != c.prev.Counters.Committed {
+		c.cut(e, final)
+	}
+	return c.ivs
+}
+
+func (c *intervalCollector) cut(e Engine, cur *Result) {
+	iv := delta(&c.prev, cur)
+	iv.Index = len(c.ivs)
+	if occ, ok := e.(OccupancyReporter); ok {
+		iv.ROBOcc, iv.IQOcc = occ.Occupancy()
+	}
+	c.ivs = append(c.ivs, iv)
+	c.prev = *cur
+}

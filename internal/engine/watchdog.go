@@ -1,0 +1,35 @@
+package engine
+
+import "fmt"
+
+// DeadlockWindow is the number of cycles without forward progress after
+// which an engine reports a model bug instead of spinning forever. The
+// seed implementation duplicated this constant (and the error message)
+// in both timing cores, where the two copies could drift; this is the
+// single shared definition.
+const DeadlockWindow = 200_000
+
+// Watchdog detects a wedged timing model: the engine reports forward
+// progress (a commit, an issue — whatever "the machine is still alive"
+// means for that core) via Progress, and Stuck fires once DeadlockWindow
+// cycles pass without any.
+//
+// The zero Watchdog is ready to use: a simulation that makes no progress
+// at all trips it DeadlockWindow cycles after cycle zero.
+type Watchdog struct {
+	last int64 // cycle of the most recent progress report
+}
+
+// Progress records forward progress at the given cycle.
+func (w *Watchdog) Progress(cycle int64) { w.last = cycle }
+
+// Stuck reports whether more than DeadlockWindow cycles have elapsed
+// since the last progress report.
+func (w *Watchdog) Stuck(cycle int64) bool { return cycle-w.last > DeadlockWindow }
+
+// Fail formats the shared watchdog error. detail carries the core's
+// structure occupancies (e.g. "rob=12 iq=3 fe=0") so the report names
+// where the pipeline wedged.
+func (w *Watchdog) Fail(model string, cycle int64, detail string) error {
+	return fmt.Errorf("engine: %s deadlocked at cycle %d (%s)", model, cycle, detail)
+}

@@ -8,12 +8,13 @@
 package inorder
 
 import (
+	"context"
 	"fmt"
 
 	"fxa/internal/bpred"
 	"fxa/internal/config"
-	"fxa/internal/core"
 	"fxa/internal/emu"
+	"fxa/internal/engine"
 	"fxa/internal/isa"
 	"fxa/internal/mem"
 	"fxa/internal/stats"
@@ -24,35 +25,33 @@ import (
 // penalty.
 const issueDepth = 2
 
-const deadlockWindow = 200_000
-
 type iuop struct {
 	rec        emu.Record
 	fetchCycle int64
 	mispredict bool
 }
 
-// Core is one in-order core simulation.
+// Core is one in-order core simulation. It implements engine.Engine
+// (plus the Aborter and OccupancyReporter extensions) and registers
+// itself for config.InOrder from init.
 type Core struct {
-	cfg   config.Model
-	trace core.Trace
-	mem   *mem.Hierarchy
-	bp    *bpred.Predictor
-	c     stats.Counters
+	cfg config.Model
+	mem *mem.Hierarchy
+	bp  *bpred.Predictor
+	c   stats.Counters
 
 	cycle      int64
 	fetchStall int64
 	blocked    bool // unresolved mispredicted branch in the queue
 	blockStart int64
 	lastLine   uint64
-	traceDone  bool
 	pending    *emu.Record
 
-	// Batched trace consumption (nil/empty when the trace only supports
-	// Next): live records are batchBuf[batchHead:len(batchBuf)].
-	batcher   core.BatchTrace
-	batchBuf  []emu.Record
-	batchHead int
+	// tr is the shared batched-trace consumer (engine layer).
+	tr engine.TraceReader
+
+	// wd is the shared deadlock watchdog (progress = an issue).
+	wd engine.Watchdog
 
 	queue []*iuop
 
@@ -62,12 +61,20 @@ type Core struct {
 	fpFU     []int64
 
 	memPortsThisCycle int
-	lastIssue         int64
 	lastDone          int64
 }
 
+// init registers the in-order core with the engine layer, so any package
+// that (blank-)imports internal/inorder can construct it through
+// engine.New without referring to this package's API.
+func init() {
+	engine.Register(config.InOrder, func(m config.Model, t engine.Trace) (engine.Engine, error) {
+		return New(m, t)
+	})
+}
+
 // New builds an in-order core simulation for model cfg fed by trace.
-func New(cfg config.Model, trace core.Trace) (*Core, error) {
+func New(cfg config.Model, trace engine.Trace) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,48 +83,74 @@ func New(cfg config.Model, trace core.Trace) (*Core, error) {
 	}
 	co := &Core{
 		cfg:   cfg,
-		trace: trace,
 		mem:   mem.NewHierarchy(cfg.Mem),
 		bp:    bpred.New(cfg.Bpred),
 		intFU: make([]int64, cfg.IntFUs),
 		memFU: make([]int64, cfg.MemFUs),
 		fpFU:  make([]int64, cfg.FPFUs),
 	}
-	if bt, ok := trace.(core.BatchTrace); ok {
-		co.batcher = bt
-		co.batchBuf = make([]emu.Record, 0, traceBatch)
-	}
+	co.tr = engine.NewTraceReader(trace)
 	return co, nil
 }
 
-// Run simulates to completion and returns the collected statistics.
-func (co *Core) Run() (core.Result, error) {
-	for {
+// Run simulates to completion and returns the collected statistics. It
+// delegates to engine.Drive, so cancelling ctx interrupts the run within
+// engine.DefaultCheckEvery simulated cycles.
+func (co *Core) Run(ctx context.Context) (engine.Result, error) {
+	return engine.Drive(ctx, co, engine.Options{})
+}
+
+// Step advances the simulation by at most nCycles cycles (engine.Engine).
+func (co *Core) Step(nCycles int64) (bool, error) {
+	for n := int64(0); n < nCycles; n++ {
 		co.cycle++
 		co.memPortsThisCycle = 0
 		co.issue()
 		co.fetch()
-		if co.traceDone && len(co.queue) == 0 && co.pending == nil {
-			break
+		if co.tr.Done() && len(co.queue) == 0 && co.pending == nil {
+			return true, nil
 		}
-		if co.cycle-co.lastIssue > deadlockWindow {
-			return core.Result{}, fmt.Errorf("inorder: %s deadlocked at cycle %d (queue=%d)", co.cfg.Name, co.cycle, len(co.queue))
+		if co.wd.Stuck(co.cycle) {
+			return false, co.wd.Fail(co.cfg.Name, co.cycle, fmt.Sprintf("queue=%d", len(co.queue)))
 		}
 	}
+	return false, nil
+}
+
+// Result assembles the statistics collected so far (engine.Engine). It is
+// idempotent and safe to call mid-run. The cycle count extends to the
+// completion of the longest-latency instruction issued so far.
+func (co *Core) Result() engine.Result {
 	end := co.lastDone
 	if co.cycle > end {
 		end = co.cycle
 	}
-	co.c.Cycles = uint64(end)
-	return core.Result{
-		Model:    co.cfg.Name,
-		Counters: co.c,
-		L1I:      co.mem.L1I.Stats,
-		L1D:      co.mem.L1D.Stats,
-		L2:       co.mem.L2.Stats,
-		DRAM:     co.mem.DRAM.Accesses,
-		Bpred:    co.bp.Stats,
-	}, nil
+	c := co.c
+	c.Cycles = uint64(end)
+	return engine.Result{
+		SchemaVersion: engine.ResultSchemaVersion,
+		Model:         co.cfg.Name,
+		Counters:      c,
+		L1I:           co.mem.L1I.Stats,
+		L1D:           co.mem.L1D.Stats,
+		L2:            co.mem.L2.Stats,
+		DRAM:          co.mem.DRAM.Accesses,
+		Bpred:         co.bp.Stats,
+	}
+}
+
+// Occupancy reports the issue-queue depth (engine.OccupancyReporter). The
+// in-order core has no ROB or out-of-order issue queue; its in-flight
+// window is the fetch queue, reported in the ROB slot.
+func (co *Core) Occupancy() (rob, iq int) { return len(co.queue), 0 }
+
+// Abort drops the in-flight window after an interrupted run
+// (engine.Aborter). The in-order core holds no pooled resources; clearing
+// the queue just makes the abort explicit.
+func (co *Core) Abort() {
+	co.queue = co.queue[:0]
+	co.pending = nil
+	co.blocked = false
 }
 
 func (co *Core) nextRec() (emu.Record, bool) {
@@ -126,28 +159,7 @@ func (co *Core) nextRec() (emu.Record, bool) {
 		co.pending = nil
 		return r, true
 	}
-	if co.traceDone {
-		return emu.Record{}, false
-	}
-	if co.batcher != nil {
-		if co.batchHead == len(co.batchBuf) {
-			n := co.batcher.NextBatch(co.batchBuf[:cap(co.batchBuf)])
-			co.batchBuf = co.batchBuf[:n]
-			co.batchHead = 0
-			if n == 0 {
-				co.traceDone = true
-				return emu.Record{}, false
-			}
-		}
-		r := co.batchBuf[co.batchHead]
-		co.batchHead++
-		return r, true
-	}
-	r, ok := co.trace.Next()
-	if !ok {
-		co.traceDone = true
-	}
-	return r, ok
+	return co.tr.Next()
 }
 
 const lineShift = 6
@@ -274,7 +286,7 @@ func (co *Core) issue() {
 		// Issue.
 		co.queue = co.queue[1:]
 		issued++
-		co.lastIssue = co.cycle
+		co.wd.Progress(co.cycle)
 		lat := int64(in.Op.Latency())
 		occupancy := int64(1)
 		if cls == isa.ClassIntDiv || cls == isa.ClassFPDiv {
@@ -326,7 +338,3 @@ func (co *Core) issue() {
 		co.c.CommittedByClass[cls]++
 	}
 }
-
-// traceBatch is the refill size used when the trace supports batching
-// (matches the out-of-order front end).
-const traceBatch = 64

@@ -1,6 +1,7 @@
 package inorder
 
 import (
+	"context"
 	"testing"
 
 	"fxa/internal/asm"
@@ -24,7 +25,7 @@ func runLittle(t *testing.T, src string) core.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := co.Run()
+	res, err := co.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

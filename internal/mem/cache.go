@@ -84,6 +84,21 @@ func (s *CacheStats) Accesses() uint64 { return s.Reads + s.Writes }
 // Misses returns total misses.
 func (s *CacheStats) Misses() uint64 { return s.ReadMiss + s.WriteMiss }
 
+// Sub returns the field-wise difference s − other. Counters are
+// monotonic within a run, so subtracting an earlier snapshot of the same
+// cache never underflows; the engine's interval collector uses this to
+// turn cumulative snapshots into per-interval deltas.
+func (s CacheStats) Sub(other CacheStats) CacheStats {
+	return CacheStats{
+		Reads:      s.Reads - other.Reads,
+		Writes:     s.Writes - other.Writes,
+		ReadMiss:   s.ReadMiss - other.ReadMiss,
+		WriteMiss:  s.WriteMiss - other.WriteMiss,
+		Writebacks: s.Writebacks - other.Writebacks,
+		Prefetches: s.Prefetches - other.Prefetches,
+	}
+}
+
 // MissRate returns misses/accesses, or 0 when idle.
 func (s *CacheStats) MissRate() float64 {
 	a := s.Accesses()

@@ -1,5 +1,6 @@
-// Package pipetrace implements core.PipeTracer writers. The primary
-// implementation emits the Kanata log format consumed by the Konata
+// Package pipetrace implements engine.Probe writers (the pipeline-event
+// observer interface of the engine layer; core.PipeTracer is its alias).
+// The primary implementation emits the Kanata log format consumed by the Konata
 // pipeline visualizer (https://github.com/shioyadan/Konata), written by
 // the paper's first author — load the output in Konata to watch
 // instructions execute in the IXU and skip the issue queue.
@@ -58,14 +59,14 @@ func (k *Kanata) sync(cycle int64) {
 	}
 }
 
-// Start implements core.PipeTracer.
+// Start implements engine.Probe.
 func (k *Kanata) Start(cycle int64, id, seq uint64, pc uint64, disasm string) {
 	k.sync(cycle)
 	k.printf("I\t%d\t%d\t0\n", id, seq)
 	k.printf("L\t%d\t0\t%x: %s\n", id, pc, disasm)
 }
 
-// Stage implements core.PipeTracer.
+// Stage implements engine.Probe.
 func (k *Kanata) Stage(cycle int64, id uint64, stage string) {
 	k.sync(cycle)
 	if prev, ok := k.open[id]; ok {
@@ -75,7 +76,7 @@ func (k *Kanata) Stage(cycle int64, id uint64, stage string) {
 	k.open[id] = stage
 }
 
-// Retire implements core.PipeTracer.
+// Retire implements engine.Probe.
 func (k *Kanata) Retire(cycle int64, id uint64, flushed bool) {
 	k.sync(cycle)
 	if prev, ok := k.open[id]; ok {

@@ -1,6 +1,7 @@
 package pipetrace
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func runTraced(t *testing.T, m config.Model, src string) (string, core.Result) {
 	var sb strings.Builder
 	k := NewKanata(&sb)
 	co.SetTracer(k)
-	res, err := co.Run()
+	res, err := co.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestTextDiagram(t *testing.T) {
 	}
 	tx := NewText(16)
 	co.SetTracer(tx)
-	if _, err := co.Run(); err != nil {
+	if _, err := co.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out := tx.String()
@@ -213,7 +214,7 @@ loop:	addi r9, r9, -1
 	}
 	tx := NewText(8)
 	co.SetTracer(tx)
-	if _, err := co.Run(); err != nil {
+	if _, err := co.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if n := strings.Count(tx.String(), "\n"); n > 8 {

@@ -58,7 +58,7 @@ func (t *Text) row(id uint64) *textRow {
 	return nil
 }
 
-// Start implements core.PipeTracer.
+// Start implements engine.Probe.
 func (t *Text) Start(cycle int64, id, seq uint64, pc uint64, disasm string) {
 	if len(t.rows) >= t.MaxInsts {
 		return
@@ -74,14 +74,14 @@ func (t *Text) Start(cycle int64, id, seq uint64, pc uint64, disasm string) {
 	})
 }
 
-// Stage implements core.PipeTracer.
+// Stage implements engine.Probe.
 func (t *Text) Stage(cycle int64, id uint64, stage string) {
 	if r := t.row(id); r != nil {
 		r.events = append(r.events, textEvent{cycle: cycle, stage: stage})
 	}
 }
 
-// Retire implements core.PipeTracer.
+// Retire implements engine.Probe.
 func (t *Text) Retire(cycle int64, id uint64, flushed bool) {
 	if r := t.row(id); r != nil {
 		r.done = true

@@ -1,0 +1,77 @@
+package report
+
+// Interval-metrics rendering: the time-series view of one run collected
+// by the engine layer (engine.Options.IntervalInsts), as an aligned text
+// table or a CSV stream. Consumed by cmd/fxabench -intervals.
+
+import (
+	"fmt"
+	"io"
+
+	"fxa/internal/engine"
+)
+
+// intervalHeaders is the column set shared by the text and CSV interval
+// renderings.
+var intervalHeaders = []string{
+	"interval", "end_cycle", "end_inst", "cycles", "insts",
+	"ipc", "ixu_rate", "br_mpki", "l1d_mpki", "l2_mpki", "rob_occ", "iq_occ",
+}
+
+// intervalCells formats one interval into the shared column set.
+func intervalCells(iv *engine.Interval) []string {
+	return []string{
+		fmt.Sprintf("%d", iv.Index),
+		fmt.Sprintf("%d", iv.EndCycle),
+		fmt.Sprintf("%d", iv.EndInst),
+		fmt.Sprintf("%d", iv.Counters.Cycles),
+		fmt.Sprintf("%d", iv.Counters.Committed),
+		fmt.Sprintf("%.3f", iv.IPC()),
+		fmt.Sprintf("%.3f", iv.IXURate()),
+		fmt.Sprintf("%.2f", iv.BranchMPKI()),
+		fmt.Sprintf("%.2f", iv.L1DMPKI()),
+		fmt.Sprintf("%.2f", iv.L2MPKI()),
+		fmt.Sprintf("%d", iv.ROBOcc),
+		fmt.Sprintf("%d", iv.IQOcc),
+	}
+}
+
+// Intervals renders the interval series of res as an aligned text table,
+// followed by a totals line reconciling the series against the run's
+// final counters (the engine guarantees the series partitions the run; the
+// totals line makes that visible).
+func Intervals(w io.Writer, res *engine.Result) {
+	t := Table{
+		Title:   fmt.Sprintf("interval metrics — %s (%d intervals)", res.Model, len(res.Intervals)),
+		Headers: intervalHeaders,
+	}
+	var cyc, insts uint64
+	for i := range res.Intervals {
+		iv := &res.Intervals[i]
+		t.AddRow(intervalCells(iv)...)
+		cyc += iv.Counters.Cycles
+		insts += iv.Counters.Committed
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "totals: %d cycles, %d insts (run: %d cycles, %d insts)\n",
+		cyc, insts, res.Counters.Cycles, res.Counters.Committed)
+}
+
+// IntervalsCSV writes the interval series of res as CSV with a header
+// row, one line per interval.
+func IntervalsCSV(w io.Writer, res *engine.Result) {
+	writeCSVLine(w, intervalHeaders)
+	for i := range res.Intervals {
+		writeCSVLine(w, intervalCells(&res.Intervals[i]))
+	}
+}
+
+func writeCSVLine(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, c)
+	}
+	io.WriteString(w, "\n")
+}

@@ -25,12 +25,15 @@ import (
 	"time"
 
 	"fxa/internal/config"
-	"fxa/internal/core"
 	"fxa/internal/emu"
-	"fxa/internal/inorder"
+	"fxa/internal/engine"
 	"fxa/internal/stats"
 	"fxa/internal/sweep"
 	"fxa/internal/workload"
+
+	// Blank imports register the timing cores with the engine layer.
+	_ "fxa/internal/core"
+	_ "fxa/internal/inorder"
 )
 
 // Config describes the sampling schedule.
@@ -57,7 +60,7 @@ func (c *Config) Validate() error {
 
 // Summary aggregates a sampled simulation.
 type Summary struct {
-	PerInterval []core.Result
+	PerInterval []engine.Result
 	// Aggregate sums every counter across intervals.
 	Aggregate stats.Counters
 	// MeanIPC and IPCStdDev describe the per-interval IPC distribution.
@@ -144,16 +147,16 @@ func run(m config.Model, wname string, machine *emu.Machine, cfg Config) (Summar
 		window, entryPC := i, machine.PC
 		jobs = append(jobs, sweep.Job{
 			Label: fmt.Sprintf("%s/%s window %d", wname, m.Name, i),
-			Run: func(context.Context) (core.Result, error) {
+			Run: func(ctx context.Context) (engine.Result, error) {
 				stream := emu.NewStream(snap, limit)
-				res, err := runOne(m, stream)
+				res, err := engine.Run(ctx, m, stream)
 				if err == nil {
 					err = stream.Err()
 				}
 				if err != nil {
 					// The stream error names the faulting PC; add which
 					// window reached it and where that window entered.
-					return core.Result{}, fmt.Errorf(
+					return engine.Result{}, fmt.Errorf(
 						"sampling: window %d (entry PC %#x): %w",
 						window, entryPC, err)
 				}
@@ -188,25 +191,6 @@ func run(m config.Model, wname string, machine *emu.Machine, cfg Config) (Summar
 	sum.MeanIPC = total / n
 	sum.IPCStdDev = math.Sqrt(maxf(0, totalSq/n-sum.MeanIPC*sum.MeanIPC))
 	return sum, nil
-}
-
-func runOne(m config.Model, stream *emu.Stream) (core.Result, error) {
-	switch m.Kind {
-	case config.OutOfOrder:
-		co, err := core.New(m, stream)
-		if err != nil {
-			return core.Result{}, err
-		}
-		return co.Run()
-	case config.InOrder:
-		co, err := inorder.New(m, stream)
-		if err != nil {
-			return core.Result{}, err
-		}
-		return co.Run()
-	default:
-		return core.Result{}, fmt.Errorf("sampling: unknown core kind %d", m.Kind)
-	}
 }
 
 func maxf(a, b float64) float64 {

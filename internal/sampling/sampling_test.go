@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"fxa/internal/asm"
 	"fxa/internal/config"
 	"fxa/internal/emu"
+	"fxa/internal/engine"
 	"fxa/internal/isa"
 	"fxa/internal/sweep"
 	"fxa/internal/workload"
@@ -20,7 +22,7 @@ func TestSampledEstimateMatchesLongRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := runOne(config.HalfFX(), trace)
+	ref, err := engine.Run(context.Background(), config.HalfFX(), trace)
 	if err != nil {
 		t.Fatal(err)
 	}

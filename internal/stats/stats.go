@@ -100,6 +100,63 @@ func (c *Counters) MPKI() float64 {
 	return 1000 * float64(c.BranchMispredicts) / float64(c.Committed)
 }
 
+// Sub removes other from c (used by the engine's interval collector to
+// turn cumulative snapshots into per-interval deltas). Every counter is
+// monotonic within a run, so field-wise subtraction of an earlier
+// snapshot never underflows.
+func (c *Counters) Sub(other *Counters) {
+	c.Cycles -= other.Cycles
+	c.Committed -= other.Committed
+	for i := range c.CommittedByClass {
+		c.CommittedByClass[i] -= other.CommittedByClass[i]
+	}
+	c.FetchedInsts -= other.FetchedInsts
+	c.WrongPathFetched -= other.WrongPathFetched
+	c.WrongPathExec -= other.WrongPathExec
+	c.DecodeOps -= other.DecodeOps
+	c.RATReads -= other.RATReads
+	c.RATWrites -= other.RATWrites
+	c.IXUExec -= other.IXUExec
+	for i := range c.IXUExecByStage {
+		c.IXUExecByStage[i] -= other.IXUExecByStage[i]
+	}
+	c.IXUReadyAtEntry -= other.IXUReadyAtEntry
+	c.IXUBypassDrives -= other.IXUBypassDrives
+	c.IXUPassThrough -= other.IXUPassThrough
+	c.IXULoadExec -= other.IXULoadExec
+	c.IXUStoreExec -= other.IXUStoreExec
+	c.IXUBranchExec -= other.IXUBranchExec
+	c.ScoreboardReads -= other.ScoreboardReads
+	c.OXUExec -= other.OXUExec
+	c.IQDispatch -= other.IQDispatch
+	c.IQIssue -= other.IQIssue
+	c.IQWakeups -= other.IQWakeups
+	c.OXUBypassDrives -= other.OXUBypassDrives
+	c.PRFReads -= other.PRFReads
+	c.PRFWrites -= other.PRFWrites
+	c.LQWrites -= other.LQWrites
+	c.SQWrites -= other.SQWrites
+	c.LQSearches -= other.LQSearches
+	c.SQSearches -= other.SQSearches
+	c.LQWriteOmitted -= other.LQWriteOmitted
+	c.LQSearchOmitted -= other.LQSearchOmitted
+	c.MemViolations -= other.MemViolations
+	c.StoreForwarded -= other.StoreForwarded
+	for i := range c.FUOps {
+		c.FUOps[i] -= other.FUOps[i]
+	}
+	c.Branches -= other.Branches
+	c.BranchMispredicts -= other.BranchMispredicts
+	c.MispredResolvedIXU -= other.MispredResolvedIXU
+	c.MispredResolvedOXU -= other.MispredResolvedOXU
+	c.MispredPenaltyCycles -= other.MispredPenaltyCycles
+	c.ROBWrites -= other.ROBWrites
+	c.ROBReads -= other.ROBReads
+	c.Replays -= other.Replays
+	c.ReplayedUops -= other.ReplayedUops
+	c.RenoEliminated -= other.RenoEliminated
+}
+
 // Add accumulates other into c (used to aggregate multi-run sweeps).
 func (c *Counters) Add(other *Counters) {
 	c.Cycles += other.Cycles

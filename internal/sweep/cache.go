@@ -1,6 +1,6 @@
 // Content-addressed on-disk result cache.
 //
-// A cache entry is one JSON-encoded core.Result stored under
+// A cache entry is one JSON-encoded engine.Result stored under
 // <dir>/<sha256>.json, where the hash covers the canonical JSON encoding
 // of {SimVersion, job fingerprint}. The fingerprint is whatever the job
 // submitter chose — for the evaluation matrix it is the full model
@@ -24,14 +24,14 @@ import (
 	"os"
 	"path/filepath"
 
-	"fxa/internal/core"
+	"fxa/internal/engine"
 )
 
 // SimVersion identifies the timing/energy-model generation baked into the
 // cache key. Bump it whenever a change to the simulator can alter the
 // Result of an unchanged (model, workload, maxInsts) job, so stale
 // entries are never returned.
-const SimVersion = 1
+const SimVersion = 2
 
 // Key hashes a job fingerprint (plus SimVersion) into the cache key: a
 // lowercase hex SHA-256 of the canonical JSON encoding. Fingerprints must
@@ -76,22 +76,22 @@ func (c *Cache) path(key string) string {
 }
 
 // Get returns the cached Result for key, if present and decodable.
-func (c *Cache) Get(key string) (core.Result, bool) {
+func (c *Cache) Get(key string) (engine.Result, bool) {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return core.Result{}, false
+		return engine.Result{}, false
 	}
-	var res core.Result
+	var res engine.Result
 	if err := json.Unmarshal(b, &res); err != nil {
 		// Corrupt entry: drop it and treat as a miss.
 		_ = os.Remove(c.path(key))
-		return core.Result{}, false
+		return engine.Result{}, false
 	}
 	return res, true
 }
 
 // Put stores res under key atomically.
-func (c *Cache) Put(key string, res core.Result) error {
+func (c *Cache) Put(key string, res engine.Result) error {
 	b, err := json.MarshalIndent(res, "", " ")
 	if err != nil {
 		return fmt.Errorf("sweep: encode result: %w", err)

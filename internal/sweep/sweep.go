@@ -36,7 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"fxa/internal/core"
+	"fxa/internal/engine"
 )
 
 // Job is one unit of work: a self-contained simulation run.
@@ -55,7 +55,7 @@ type Job struct {
 	// Run executes the simulation. It must be self-contained (no
 	// shared mutable state with other jobs) and should return early
 	// when ctx is cancelled if it is long-running.
-	Run func(ctx context.Context) (core.Result, error)
+	Run func(ctx context.Context) (engine.Result, error)
 }
 
 // ErrorMode selects how the engine reacts to job errors.
@@ -121,7 +121,7 @@ type Options struct {
 // Cancellation of ctx drains the pool cleanly: no new jobs are dispatched,
 // in-flight jobs see the cancelled context, and Run returns ctx's error
 // (joined with any job errors already observed in CollectAll mode).
-func Run(ctx context.Context, jobs []Job, opts Options) ([]core.Result, Stats, error) {
+func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats, error) {
 	start := time.Now()
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
@@ -139,7 +139,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]core.Result, Stats, e
 	}
 	stats.Workers = workers
 
-	results := make([]core.Result, len(jobs))
+	results := make([]engine.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	hits := make([]bool, len(jobs))
 
@@ -237,21 +237,21 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]core.Result, Stats, e
 }
 
 // runOne executes a single job with cache lookup and panic containment.
-func runOne(ctx context.Context, job *Job, cache *Cache) (res core.Result, hit bool, err error) {
+func runOne(ctx context.Context, job *Job, cache *Cache) (res engine.Result, hit bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, hit = core.Result{}, false
+			res, hit = engine.Result{}, false
 			err = fmt.Errorf("sweep: job %q panicked: %v\n%s", job.Label, r, debug.Stack())
 		}
 	}()
 	if err := ctx.Err(); err != nil {
-		return core.Result{}, false, err
+		return engine.Result{}, false, err
 	}
 	var key string
 	if cache != nil && job.Fingerprint != nil {
 		key, err = Key(job.Fingerprint)
 		if err != nil {
-			return core.Result{}, false, fmt.Errorf("sweep: job %q fingerprint: %w", job.Label, err)
+			return engine.Result{}, false, fmt.Errorf("sweep: job %q fingerprint: %w", job.Label, err)
 		}
 		if res, ok := cache.Get(key); ok {
 			return res, true, nil
@@ -259,7 +259,7 @@ func runOne(ctx context.Context, job *Job, cache *Cache) (res core.Result, hit b
 	}
 	res, err = job.Run(ctx)
 	if err != nil {
-		return core.Result{}, false, err
+		return engine.Result{}, false, err
 	}
 	if key != "" {
 		if perr := cache.Put(key, res); perr != nil {
