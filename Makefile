@@ -1,14 +1,26 @@
-# Tier-1 verification and developer targets.
+# Tier-1 verification and developer targets. Every CI step invokes one
+# of these targets (never a raw command), so the local chain and CI can
+# never drift: what `make check` passes, CI passes.
 #
 #   make tier1   build + vet + full test suite + race check of the
 #                concurrent packages (the sweep engine and its users)
-#   make check   alias for the same chain — the pre-merge gate
+#   make check   tier1 + lint — the pre-merge gate
+#   make lint    gofmt -l check, go vet, staticcheck (skipped with a
+#                note when staticcheck is not installed; CI installs it)
 #   make race    only the scoped race check
 #   make bench   hot-loop benchmarks, -benchmem -count=5 (benchstat-ready)
 #   make bench-emu  functional fast-forward + snapshot benchmarks
-#                (compare against the record in BENCH_emu.json)
+#                (the historical speedup record is BENCH_ff_history.json)
 #   make bench-figures  one pass over the table/figure benchmarks
-#   make fuzz    short run of the core's random-flush fuzzer
+#   make bench-gate  the statistical performance-regression gate: run the
+#                core/emu/sampling suites with repetitions and compare
+#                against BENCH_core.json / BENCH_emu.json /
+#                BENCH_sampling.json (DESIGN.md §8.5); non-zero exit on
+#                a significant regression beyond threshold
+#   make bench-gate-update  re-record those baselines (after an
+#                intentional perf change; see EXPERIMENTS.md)
+#   make bench-gate-full    the nightly gate: double repetitions
+#   make fuzz    run of the core's random-flush fuzzer (FUZZTIME=30s)
 
 GO ?= go
 
@@ -18,13 +30,32 @@ GO ?= go
 # multi-worker determinism tests run under race in race-full.)
 RACE_PKGS = ./internal/sweep ./internal/sampling ./internal/emu
 
-.PHONY: tier1 check build vet test race race-full bench bench-emu bench-figures fuzz
+# Perfgate knobs (override on the command line, e.g.
+# `make bench-gate PERFGATE_BENCHOUT=bench-raw.txt`).
+PERFGATE_COUNT ?= 5
+PERFGATE_THRESHOLD ?= 1.10
+PERFGATE_BENCHOUT ?=
+PERFGATE_FLAGS = -perfgate -count $(PERFGATE_COUNT) -threshold $(PERFGATE_THRESHOLD)
+ifneq ($(PERFGATE_BENCHOUT),)
+PERFGATE_FLAGS += -benchout $(PERFGATE_BENCHOUT)
+endif
+
+# Fuzzing budget (nightly CI runs FUZZTIME=60s).
+FUZZTIME ?= 30s
+
+# Static analyzer; `make lint` skips it gracefully when absent so the
+# target works on minimal toolchains, while CI always installs it.
+STATICCHECK ?= staticcheck
+
+.PHONY: tier1 check build vet test race race-full lint fmt-check \
+	bench bench-emu bench-figures bench-gate bench-gate-full \
+	bench-gate-update fuzz
 
 tier1: build vet test race
 
-# check is the pre-merge gate: identical to tier1, named for CI muscle
+# check is the pre-merge gate: tier1 plus lint, named for CI muscle
 # memory.
-check: tier1
+check: tier1 lint
 
 build:
 	$(GO) build ./...
@@ -43,6 +74,18 @@ race:
 race-full: race
 	$(GO) test -race -run 'TestParallel|TestEvaluationCache|TestFigureSweepsDeterministic' .
 
+# Formatting is a gate, not a suggestion.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l flags:"; echo "$$out"; exit 1; fi
+
+lint: fmt-check vet
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "lint: $(STATICCHECK) not found, skipping (CI installs it; go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Hot-loop benchmarks with allocation accounting. Five repetitions so
 # `benchstat old.txt new.txt` gets a distribution; the ns/inst and
 # allocs/op columns are the regression signals for the allocation
@@ -51,7 +94,8 @@ bench:
 	$(GO) test -bench 'BenchmarkCore' -benchmem -count=5 -run '^$$' ./internal/core
 
 # Functional fast-forward and snapshot benchmarks (DESIGN.md §8.3).
-# Compare ns/inst and allocs/op against the record in BENCH_emu.json.
+# The before/after record of the fast-path work is BENCH_ff_history.json;
+# the live regression baseline is BENCH_emu.json (see bench-gate).
 bench-emu:
 	$(GO) test -bench 'BenchmarkEmu|BenchmarkMemoryClone|BenchmarkMachineClone' -benchmem -count=5 -run '^$$' ./internal/emu
 	$(GO) test -bench 'BenchmarkSamplingEndToEnd' -benchmem -count=5 -run '^$$' ./internal/sampling
@@ -61,8 +105,25 @@ bench-emu:
 bench-figures:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# Short run of the native fuzzer over random flush points (the seed
-# corpus — mid-IXU squash, LQ/SQ partial squash, MSHR exhaustion, RENO
-# squash — always runs as part of `make test` via TestFuzzRandomFlush).
+# The statistical performance-regression gate (DESIGN.md §8.5): exits
+# non-zero when any gated metric is both statistically significant
+# (one-sided Mann-Whitney U) and worse than PERFGATE_THRESHOLD against
+# the checked-in baselines. Noisy runners widen tolerances; they never
+# flake the gate.
+bench-gate:
+	$(GO) run ./cmd/fxabench $(PERFGATE_FLAGS)
+
+# Nightly variant: double repetitions for tighter distributions.
+bench-gate-full:
+	$(MAKE) bench-gate PERFGATE_COUNT=10
+
+# Deliberate baseline refresh after an intentional performance change
+# (document the why in EXPERIMENTS.md; the diff shows up in review).
+bench-gate-update:
+	$(GO) run ./cmd/fxabench -perfgate -update-baseline -count $(PERFGATE_COUNT)
+
+# Run of the native fuzzer over random flush points (the seed corpus —
+# mid-IXU squash, LQ/SQ partial squash, MSHR exhaustion, RENO squash —
+# always runs as part of `make test` via TestFuzzRandomFlush).
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzRandomFlush -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRandomFlush -fuzztime $(FUZZTIME) ./internal/core

@@ -10,6 +10,22 @@
 //	         [-cpuprofile file] [-memprofile file]
 //	fxabench -intervals N [-workload W] [-model M] [-n insts] [-warmup insts]
 //	         [-format text|csv|json]
+//	fxabench -perfgate [-update-baseline] [-threshold 1.10] [-count 5]
+//	         [-suite all|core|emu|sampling] [-baselinedir .]
+//	         [-benchout file] [-benchtime d] [-format text|csv|markdown]
+//
+// With -perfgate, fxabench becomes the performance-regression gate
+// (DESIGN.md §8.5): it runs the repository's benchmark suites as `go
+// test -bench` subprocesses with -count repetitions (plus one discarded
+// warm-up repetition), compares the measured distributions against the
+// schema-versioned baselines BENCH_core.json / BENCH_emu.json /
+// BENCH_sampling.json, and exits non-zero with a regression table when
+// any metric is both statistically significant (one-sided Mann-Whitney
+// U, p < 0.05) and worse than -threshold (noisy runners widen the
+// tolerance instead of flaking). -update-baseline re-records the
+// baselines — the deliberate refresh after an intentional performance
+// change. -benchout preserves the raw `go test -bench` output (the CI
+// artifact); -threshold must lie in (1, 10].
 //
 // With -intervals N, fxabench switches to single-run mode: it simulates
 // one workload on one model with the engine layer's interval-metrics
@@ -33,7 +49,10 @@
 // allocation profile ("allocs", cumulative since process start) is written
 // at exit. Both feed `go tool pprof` and exist to keep the simulator's
 // hot-loop allocation discipline observable (see DESIGN.md §8.2). Sweep
-// progress lines additionally report allocs/Kinst.
+// progress lines additionally report allocs/Kinst. An existing profile
+// (or -benchout) file is never silently overwritten: the previous file
+// is rotated to <file>.prev first, so back-to-back profiling runs always
+// keep one generation to diff against.
 //
 // The main sweep (figures 7, 8a, 8b, 10 and the headline numbers) runs
 // every SPEC CPU 2006 proxy on every model once and derives all views from
@@ -107,6 +126,14 @@ func main() {
 	intervals := flag.Uint64("intervals", 0, "single-run mode: collect interval metrics every N committed instructions (requires -workload/-model)")
 	workloadName := flag.String("workload", "libquantum", "workload for -intervals mode")
 	modelName := flag.String("model", "HALF+FX", "processor model for -intervals mode")
+	gateMode := flag.Bool("perfgate", false, "performance-regression gate mode: run the benchmark suites and compare against the checked-in baselines")
+	gateUpdate := flag.Bool("update-baseline", false, "perfgate: re-record the baselines instead of gating")
+	gateThreshold := flag.Float64("threshold", 1.10, "perfgate: practical regression threshold as a worseness ratio, in (1, 10]")
+	gateCount := flag.Int("count", 5, "perfgate: measured repetitions per benchmark")
+	gateSuite := flag.String("suite", "all", "perfgate: which suite to run (all, core, emu, sampling)")
+	gateBaselineDir := flag.String("baselinedir", ".", "perfgate: directory holding the BENCH_*.json baselines")
+	gateBenchOut := flag.String("benchout", "", "perfgate: tee the raw `go test -bench` output to this file (rotated, never clobbered)")
+	gateBenchTime := flag.String("benchtime", "", "perfgate: -benchtime passed through to go test (default: go's)")
 	flag.Parse()
 
 	if !contains(validExperiments, *exp) {
@@ -114,6 +141,21 @@ func main() {
 	}
 	if !contains(validFormats, *format) && !(*format == "json" && *intervals > 0) {
 		fatal(fmt.Errorf("unknown format %q (valid: %s; json with -intervals)", *format, strings.Join(validFormats, ", ")))
+	}
+	if !*gateMode {
+		// The perfgate knobs mean nothing outside -perfgate; reject
+		// them instead of silently ignoring a mistyped gate run.
+		set := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"update-baseline", "threshold", "count", "suite", "baselinedir", "benchout", "benchtime"} {
+			if set[name] {
+				fatal(fmt.Errorf("-%s requires -perfgate", name))
+			}
+		}
+	} else if *gateThreshold <= 1 || *gateThreshold > 10 {
+		fatal(fmt.Errorf("-threshold %v out of range: must be in (1, 10] (it is a worseness ratio; 1.10 gates 10%% regressions)", *gateThreshold))
+	} else if *gateCount < 2 && !*gateUpdate {
+		fatal(fmt.Errorf("-count %d too small: the significance test needs at least 2 repetitions (default 5)", *gateCount))
 	}
 	switch *ffmode {
 	case "fast":
@@ -125,7 +167,7 @@ func main() {
 	}
 
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		f, err := createNoClobber(*cpuprofile)
 		if err != nil {
 			fatal(err)
 		}
@@ -140,7 +182,7 @@ func main() {
 	if *memprofile != "" {
 		path := *memprofile
 		exitHooks = append(exitHooks, func() {
-			f, err := os.Create(path)
+			f, err := createNoClobber(path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "fxabench: memprofile:", err)
 				return
@@ -153,6 +195,28 @@ func main() {
 		})
 	}
 	defer runExitHooks()
+
+	if *gateMode {
+		failed, err := runPerfgate(context.Background(), perfgateConfig{
+			update:      *gateUpdate,
+			threshold:   *gateThreshold,
+			count:       *gateCount,
+			suite:       *gateSuite,
+			baselineDir: *gateBaselineDir,
+			benchOut:    *gateBenchOut,
+			benchTime:   *gateBenchTime,
+			format:      *format,
+			quiet:       *quiet,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if failed {
+			runExitHooks()
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *intervals > 0 {
 		if err := runIntervals(*modelName, *workloadName, *n, *warmup, *intervals, *format); err != nil {

@@ -1,0 +1,137 @@
+package main
+
+// The -perfgate mode: run the gated benchmark suites with repetitions,
+// compare them against the checked-in baselines (BENCH_core.json,
+// BENCH_emu.json, BENCH_sampling.json) with the statistics of
+// internal/perfgate, and exit non-zero on any statistically significant
+// regression beyond threshold. With -update-baseline it re-records the
+// baselines instead (the deliberate refresh path after an intentional
+// performance change — see EXPERIMENTS.md).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fxa/internal/perfgate"
+)
+
+// perfgateConfig carries the perfgate-mode flag values.
+type perfgateConfig struct {
+	update      bool    // -update-baseline
+	threshold   float64 // -threshold
+	count       int     // -count
+	suite       string  // -suite: all|core|emu|sampling
+	baselineDir string  // -baselinedir
+	benchOut    string  // -benchout: raw go test output artifact
+	benchTime   string  // -benchtime passthrough
+	format      string  // -format: text|csv|markdown
+	quiet       bool    // -q
+}
+
+// runPerfgate executes the gate (or the baseline refresh). It returns
+// gateFailed=true when at least one suite regressed — the caller turns
+// that into a non-zero exit after all suites have reported, so a run
+// with regressions in two suites shows both tables.
+func runPerfgate(ctx context.Context, cfg perfgateConfig) (gateFailed bool, err error) {
+	var specs []perfgate.SuiteSpec
+	if cfg.suite == "all" {
+		specs = perfgate.Suites
+	} else {
+		spec, err := perfgate.SuiteByName(cfg.suite)
+		if err != nil {
+			return false, err
+		}
+		specs = []perfgate.SuiteSpec{spec}
+	}
+
+	runner := &perfgate.Runner{
+		Dir:       ".",
+		Count:     cfg.count,
+		BenchTime: cfg.benchTime,
+	}
+	if !cfg.quiet {
+		runner.Log = os.Stderr
+	}
+	if cfg.benchOut != "" {
+		f, err := createNoClobber(cfg.benchOut)
+		if err != nil {
+			return false, err
+		}
+		defer f.Close()
+		runner.RawOut = f
+	}
+
+	var failures []string
+	for _, spec := range specs {
+		suite, err := runner.Run(ctx, spec)
+		if err != nil {
+			return false, err
+		}
+		path := filepath.Join(cfg.baselineDir, spec.Baseline)
+
+		if cfg.update {
+			suite.Description = fmt.Sprintf(
+				"perfgate baseline for the %s suite (%s in %s): per-benchmark sample vectors over %d repetitions (first warm-up repetition discarded). Refresh with `make bench-gate-update` after an intentional performance change; gated by `make bench-gate` (DESIGN.md §8.5).",
+				spec.Name, spec.Pattern, spec.Pkg, runner.Count)
+			if err := suite.Save(path); err != nil {
+				return false, fmt.Errorf("suite %s: %w", spec.Name, err)
+			}
+			if !cfg.quiet {
+				fmt.Fprintf(os.Stderr, "perfgate: wrote %s (%d benchmarks)\n", path, len(suite.Benchmarks))
+			}
+			continue
+		}
+
+		base, err := perfgate.LoadBaseline(path)
+		if err != nil {
+			return false, err
+		}
+		g := perfgate.Compare(base, suite, perfgate.Options{Threshold: cfg.threshold})
+		renderGate(os.Stdout, g, cfg.format)
+		fmt.Println(g.Summary())
+		fmt.Println()
+		for _, c := range g.Regressions() {
+			failures = append(failures, fmt.Sprintf("%s: %s %s (ratio %.3f, p %.3f, tol %.2f)",
+				g.SuiteName, c.Bench, c.Unit, c.Ratio, c.P, c.Tolerance))
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "perfgate: %d regression(s):\n  %s\n",
+			len(failures), strings.Join(failures, "\n  "))
+		return true, nil
+	}
+	return false, nil
+}
+
+// renderGate emits the comparison table in the requested -format.
+func renderGate(w io.Writer, g *perfgate.GateResult, format string) {
+	t := g.Table()
+	switch format {
+	case "csv":
+		t.CSV(w)
+	case "markdown":
+		t.Markdown(w)
+	default:
+		t.Render(w)
+	}
+}
+
+// createNoClobber creates path for writing. If the file already exists
+// it is rotated to path+".prev" first instead of being silently
+// overwritten — repeated -cpuprofile/-memprofile/-benchout runs keep
+// exactly one previous generation around for comparison.
+func createNoClobber(path string) (*os.File, error) {
+	if _, err := os.Stat(path); err == nil {
+		prev := path + ".prev"
+		if err := os.Rename(path, prev); err != nil {
+			return nil, fmt.Errorf("%s exists and rotating it failed: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "fxabench: %s existed, rotated to %s\n", path, prev)
+	}
+	return os.Create(path)
+}

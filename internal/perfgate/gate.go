@@ -1,0 +1,383 @@
+package perfgate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fxa/internal/report"
+	"fxa/internal/stats"
+)
+
+// Options tune the gate's decision rule. Zero values select the
+// defaults; DESIGN.md §8.5 documents the policy behind each knob.
+type Options struct {
+	// Threshold is the practical-significance bar: a metric gates only
+	// when its worseness ratio (current/baseline median for lower-is-
+	// better metrics) exceeds it. Default 1.10 — a 10% regression.
+	Threshold float64
+
+	// Alpha is the statistical-significance level of the one-sided
+	// Mann-Whitney U test. Default 0.05.
+	Alpha float64
+
+	// NoisyRel is the relative dispersion (MAD/median) the gate
+	// tolerates before declaring the runner noisy. Default 0.05 (5%).
+	NoisyRel float64
+
+	// NoisyScale converts excess dispersion into threshold widening:
+	// tolerance = Threshold + NoisyScale*(dispersion - NoisyRel),
+	// capped at MaxWiden. A runner with 20% relative MAD at the
+	// defaults gets tolerance 1.10 + 2*(0.20-0.05) = 1.40 instead of a
+	// flaky gate. Default 2.
+	NoisyScale float64
+
+	// MaxWiden caps the total widening added to Threshold. Default 0.50.
+	MaxWiden float64
+
+	// HardwareWiden is added to the tolerance when the baseline was
+	// recorded on different hardware (CPU model or core count differ),
+	// on top of any noise widening. Default 0.15.
+	HardwareWiden float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 1.10
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.NoisyRel == 0 {
+		o.NoisyRel = 0.05
+	}
+	if o.NoisyScale == 0 {
+		o.NoisyScale = 2
+	}
+	if o.MaxWiden == 0 {
+		o.MaxWiden = 0.50
+	}
+	if o.HardwareWiden == 0 {
+		o.HardwareWiden = 0.15
+	}
+	return o
+}
+
+// Verdict classifies one (benchmark, metric) comparison.
+type Verdict int
+
+const (
+	VerdictOK         Verdict = iota // within tolerance, or shift not significant
+	VerdictRegression                // significant and above tolerance: gates
+	VerdictImproved                  // significant improvement beyond 1/Threshold
+	VerdictMissing                   // in the baseline, absent from this run: gates
+	VerdictNew                       // measured, but not in the baseline: informational
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictRegression:
+		return "REGRESSION"
+	case VerdictImproved:
+		return "improved"
+	case VerdictMissing:
+		return "MISSING"
+	case VerdictNew:
+		return "new"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Comparison is the gate's judgment of one metric of one benchmark.
+type Comparison struct {
+	Bench string
+	Unit  string
+
+	BaseMedian, BaseMAD float64
+	CurMedian, CurMAD   float64
+
+	// Ratio is the worseness ratio: >1 means the current run is worse
+	// (slower / more allocations for lower-is-better units, lower
+	// throughput for higher-is-better ones).
+	Ratio float64
+
+	// P is the one-sided Mann-Whitney p-value for "current is worse".
+	P float64
+
+	// Tolerance is the effective threshold this comparison was judged
+	// against (base threshold plus any noise/hardware widening).
+	Tolerance float64
+
+	Noisy   bool // tolerance was widened for dispersion
+	Verdict Verdict
+}
+
+// GateResult is the outcome of comparing one suite against its baseline.
+type GateResult struct {
+	SuiteName     string
+	BaselineEnv   Fingerprint
+	CurrentEnv    Fingerprint
+	HardwareMatch bool
+	Comparisons   []Comparison
+	NewBenches    []string // benchmarks measured but absent from the baseline
+}
+
+// higherBetter lists the units where larger is better; everything else
+// (ns/op, ns/inst, B/op, allocs/op, ...) is lower-is-better.
+func higherBetter(unit string) bool {
+	switch unit {
+	case "MB/s", "Minst/s", "ff-Minst/s", "insts/s":
+		return true
+	}
+	return false
+}
+
+// absFloor returns the minimum absolute worsening (in the unit's own
+// scale) required to gate. Integer-like allocation metrics get a floor
+// so a 1→2 alloc jitter (ratio 2.0!) on an otherwise-clean benchmark
+// does not flake the gate, while 1→3 on the O(1)-snapshot contract
+// still fails.
+func absFloor(unit string) float64 {
+	switch unit {
+	case "allocs/op":
+		return 1.5
+	case "B/op":
+		return 256
+	}
+	return 0
+}
+
+// Compare judges the current suite against its baseline. Every
+// (benchmark, metric) pair present in the baseline yields exactly one
+// Comparison; benchmarks only present in the current run are listed in
+// NewBenches (informational — refresh the baseline to start gating
+// them).
+func Compare(baseline, current *Suite, opt Options) *GateResult {
+	opt = opt.withDefaults()
+	g := &GateResult{
+		SuiteName:     baseline.SuiteName,
+		BaselineEnv:   baseline.Env,
+		CurrentEnv:    current.Env,
+		HardwareMatch: baseline.Env.SameHardware(current.Env),
+	}
+
+	for _, bench := range baseline.BenchNames() {
+		curByUnit := current.Benchmarks[bench]
+		for _, unit := range baseline.UnitsOf(bench) {
+			base := baseline.Benchmarks[bench][unit]
+			cur := curByUnit[unit]
+			g.Comparisons = append(g.Comparisons, compareMetric(bench, unit, base, cur, g.HardwareMatch, opt))
+		}
+	}
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			g.NewBenches = append(g.NewBenches, name)
+		}
+	}
+	sort.Strings(g.NewBenches)
+	return g
+}
+
+func compareMetric(bench, unit string, base, cur []float64, hwMatch bool, opt Options) Comparison {
+	c := Comparison{
+		Bench:      bench,
+		Unit:       unit,
+		BaseMedian: stats.Median(base),
+		BaseMAD:    stats.MAD(base),
+		Tolerance:  opt.Threshold,
+		P:          1,
+		Ratio:      1,
+	}
+	if len(cur) == 0 {
+		c.Verdict = VerdictMissing
+		return c
+	}
+	c.CurMedian = stats.Median(cur)
+	c.CurMAD = stats.MAD(cur)
+
+	// Worse/better orientation: map everything onto "ratio > 1 means
+	// worse" and a one-sided test of "current worse than baseline".
+	var worseDelta float64 // absolute worsening in the unit's scale
+	var pWorse, pBetter float64
+	if higherBetter(unit) {
+		worseDelta = c.BaseMedian - c.CurMedian
+		c.Ratio = worseRatio(c.BaseMedian, c.CurMedian, worseDelta, unit)
+		_, pWorse = stats.MannWhitneyU(cur, base)  // H1: baseline > current
+		_, pBetter = stats.MannWhitneyU(base, cur) // H1: current > baseline
+	} else {
+		worseDelta = c.CurMedian - c.BaseMedian
+		c.Ratio = worseRatio(c.CurMedian, c.BaseMedian, worseDelta, unit)
+		_, pWorse = stats.MannWhitneyU(base, cur)
+		_, pBetter = stats.MannWhitneyU(cur, base)
+	}
+	c.P = pWorse
+
+	// Noisy-runner policy: widen the tolerance instead of flaking.
+	disp := math.Max(relDisp(c.BaseMAD, c.BaseMedian), relDisp(c.CurMAD, c.CurMedian))
+	widen := 0.0
+	if disp > opt.NoisyRel {
+		widen = opt.NoisyScale * (disp - opt.NoisyRel)
+		c.Noisy = true
+	}
+	if !hwMatch {
+		widen += opt.HardwareWiden
+	}
+	if widen > opt.MaxWiden {
+		widen = opt.MaxWiden
+	}
+	c.Tolerance = opt.Threshold + widen
+
+	switch {
+	case pWorse < opt.Alpha && c.Ratio > c.Tolerance && worseDelta > absFloor(unit):
+		c.Verdict = VerdictRegression
+	case pBetter < opt.Alpha && c.Ratio < 1/opt.Threshold:
+		c.Verdict = VerdictImproved
+	default:
+		c.Verdict = VerdictOK
+	}
+	return c
+}
+
+// worseRatio computes worse/better as a ratio, guarding zero
+// denominators: a zero baseline that stays within the absolute floor is
+// ratio 1 (no change that matters), beyond the floor it is +Inf.
+func worseRatio(worse, better, delta float64, unit string) float64 {
+	if better > 0 {
+		return worse / better
+	}
+	if delta > absFloor(unit) {
+		return math.Inf(1)
+	}
+	return 1
+}
+
+// relDisp is MAD/|median| with a zero-median guard.
+func relDisp(mad, median float64) float64 {
+	if median == 0 {
+		return 0
+	}
+	return math.Abs(mad / median)
+}
+
+// Failed reports whether the gate should exit non-zero: any regression
+// or any baseline benchmark missing from the run.
+func (g *GateResult) Failed() bool {
+	for _, c := range g.Comparisons {
+		if c.Verdict == VerdictRegression || c.Verdict == VerdictMissing {
+			return true
+		}
+	}
+	return false
+}
+
+// Regressions returns the gating comparisons (regressions and missing
+// benchmarks), for error messages that name the guilty metrics.
+func (g *GateResult) Regressions() []Comparison {
+	var out []Comparison
+	for _, c := range g.Comparisons {
+		if c.Verdict == VerdictRegression || c.Verdict == VerdictMissing {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary renders the one-line outcome, e.g.
+//
+//	suite core: 18 metrics, 0 regressions, 2 improved, 3 noise-widened
+func (g *GateResult) Summary() string {
+	var reg, imp, noisy, missing int
+	for _, c := range g.Comparisons {
+		switch c.Verdict {
+		case VerdictRegression:
+			reg++
+		case VerdictImproved:
+			imp++
+		case VerdictMissing:
+			missing++
+		}
+		if c.Noisy {
+			noisy++
+		}
+	}
+	s := fmt.Sprintf("suite %s: %d metrics, %d regressions, %d improved, %d noise-widened",
+		g.SuiteName, len(g.Comparisons), reg, imp, noisy)
+	if missing > 0 {
+		s += fmt.Sprintf(", %d missing", missing)
+	}
+	return s
+}
+
+// Table renders the benchstat-style comparison as a report.Table with
+// the gate policy in the footer. Every baseline metric appears; the
+// verdict column names the regressions the gate fails on.
+func (g *GateResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("perfgate: suite %s (baseline commit %s)", g.SuiteName, orUnknown(g.BaselineEnv.Commit)),
+		Headers: []string{"benchmark", "metric", "baseline", "current", "ratio", "p", "tol", "verdict"},
+	}
+	anyNoisy := false
+	for _, c := range g.Comparisons {
+		tol := fmt.Sprintf("%.2f", c.Tolerance)
+		if c.Noisy {
+			tol += "*"
+			anyNoisy = true
+		}
+		cur := medMAD(c.CurMedian, c.CurMAD)
+		ratio := fmt.Sprintf("%.3f", c.Ratio)
+		if c.Verdict == VerdictMissing {
+			cur, ratio = "-", "-"
+		}
+		t.AddRow(
+			trimBench(c.Bench),
+			c.Unit,
+			medMAD(c.BaseMedian, c.BaseMAD),
+			cur,
+			ratio,
+			fmt.Sprintf("%.3f", c.P),
+			tol,
+			c.Verdict.String(),
+		)
+	}
+	t.Footer = append(t.Footer,
+		"REGRESSION = one-sided Mann-Whitney p < 0.05 AND median worse beyond tolerance (see DESIGN.md §8.5)")
+	if anyNoisy {
+		t.Footer = append(t.Footer,
+			"* tolerance widened: run dispersion (MAD/median) above the noisy-runner grace — see DESIGN.md §8.5")
+	}
+	if !g.HardwareMatch {
+		t.Footer = append(t.Footer, fmt.Sprintf(
+			"baseline hardware differs (%s, %d CPUs vs %s, %d CPUs): tolerances widened",
+			orUnknown(g.BaselineEnv.CPUModel), g.BaselineEnv.NumCPU,
+			orUnknown(g.CurrentEnv.CPUModel), g.CurrentEnv.NumCPU))
+	}
+	if len(g.NewBenches) > 0 {
+		t.Footer = append(t.Footer, fmt.Sprintf(
+			"not in baseline (run -update-baseline to start gating): %v", g.NewBenches))
+	}
+	return t
+}
+
+// trimBench drops the "Benchmark" prefix for narrower tables.
+func trimBench(name string) string {
+	const p = "Benchmark"
+	if len(name) > len(p) && name[:len(p)] == p {
+		return name[len(p):]
+	}
+	return name
+}
+
+// medMAD renders "median ±MAD" with compact precision.
+func medMAD(med, mad float64) string {
+	return fmt.Sprintf("%.4g ±%.2g", med, mad)
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

@@ -1,0 +1,265 @@
+package perfgate
+
+import (
+	"strings"
+	"testing"
+)
+
+// synthetic builds a Suite with one benchmark carrying the given ns/inst
+// and allocs/op distributions.
+func synthetic(name string, nsInst, allocs []float64) *Suite {
+	return &Suite{
+		Schema:    SchemaVersion,
+		SuiteName: "core",
+		Env: Fingerprint{
+			GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+			NumCPU: 8, GOMAXPROCS: 8, CPUModel: "Test CPU",
+		},
+		Benchmarks: Measurements{
+			name: {"ns/inst": nsInst, "allocs/op": allocs},
+		},
+	}
+}
+
+func scaled(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}
+
+var (
+	quietNsInst = []float64{200, 202, 198, 201, 199}
+	quietAllocs = []float64{160, 160, 160, 161, 160}
+)
+
+// TestGateIdenticalDistributionPasses: re-running against an identical
+// distribution must pass — the acceptance self-test's negative arm.
+func TestGateIdenticalDistributionPasses(t *testing.T) {
+	base := synthetic("BenchmarkCoreHotLoop/BIG/mcf", quietNsInst, quietAllocs)
+	cur := synthetic("BenchmarkCoreHotLoop/BIG/mcf", quietNsInst, quietAllocs)
+	g := Compare(base, cur, Options{})
+	if g.Failed() {
+		t.Fatalf("identical distributions failed the gate:\n%s", g.Table())
+	}
+	for _, c := range g.Comparisons {
+		if c.Verdict != VerdictOK {
+			t.Errorf("%s %s: verdict %s, want ok", c.Bench, c.Unit, c.Verdict)
+		}
+	}
+}
+
+// TestGateInjectedSlowdownFails: a synthetic 2x ns/inst slowdown must
+// fail the gate, and the regression table must name the metric — the
+// acceptance self-test's positive arm.
+func TestGateInjectedSlowdownFails(t *testing.T) {
+	base := synthetic("BenchmarkCoreHotLoop/BIG/mcf", quietNsInst, quietAllocs)
+	cur := synthetic("BenchmarkCoreHotLoop/BIG/mcf", scaled(quietNsInst, 2), quietAllocs)
+	g := Compare(base, cur, Options{})
+	if !g.Failed() {
+		t.Fatalf("2x ns/inst slowdown passed the gate:\n%s", g.Table())
+	}
+	regs := g.Regressions()
+	if len(regs) != 1 || regs[0].Unit != "ns/inst" {
+		t.Fatalf("regressions = %+v, want exactly ns/inst", regs)
+	}
+	if regs[0].Ratio < 1.9 || regs[0].Ratio > 2.1 {
+		t.Errorf("ratio = %v, want ~2", regs[0].Ratio)
+	}
+	// The rendered table names benchmark, metric and verdict.
+	tbl := g.Table().String()
+	for _, want := range []string{"CoreHotLoop/BIG/mcf", "ns/inst", "REGRESSION"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("regression table missing %q:\n%s", want, tbl)
+		}
+	}
+	// The untouched allocs/op metric must not gate.
+	for _, c := range g.Comparisons {
+		if c.Unit == "allocs/op" && c.Verdict != VerdictOK {
+			t.Errorf("allocs/op verdict %s, want ok", c.Verdict)
+		}
+	}
+}
+
+// TestGateShiftedMedianBelowThresholdPasses: a statistically significant
+// but practically tiny shift (3%) stays below the 10% threshold.
+func TestGateShiftedMedianBelowThresholdPasses(t *testing.T) {
+	base := synthetic("B", quietNsInst, quietAllocs)
+	cur := synthetic("B", scaled(quietNsInst, 1.03), quietAllocs)
+	g := Compare(base, cur, Options{})
+	if g.Failed() {
+		t.Fatalf("3%% shift failed the 10%% gate:\n%s", g.Table())
+	}
+}
+
+// TestGateHighVarianceWidensTolerance: on a noisy runner (20% relative
+// MAD) a 15% median shift must NOT gate — the tolerance widens instead
+// of flaking — while the comparison is flagged noisy.
+func TestGateHighVarianceWidensTolerance(t *testing.T) {
+	noisyBase := []float64{200, 260, 150, 240, 170} // median 200, MAD 40 (20%)
+	noisyCur := scaled(noisyBase, 1.15)
+	base := synthetic("B", noisyBase, quietAllocs)
+	cur := synthetic("B", noisyCur, quietAllocs)
+	g := Compare(base, cur, Options{})
+	if g.Failed() {
+		t.Fatalf("noisy 15%% shift flaked the gate:\n%s", g.Table())
+	}
+	var c *Comparison
+	for i := range g.Comparisons {
+		if g.Comparisons[i].Unit == "ns/inst" {
+			c = &g.Comparisons[i]
+		}
+	}
+	if c == nil || !c.Noisy {
+		t.Fatalf("noisy run not flagged: %+v", g.Comparisons)
+	}
+	if c.Tolerance <= 1.10 {
+		t.Errorf("tolerance = %v, want widened above 1.10", c.Tolerance)
+	}
+	if tbl := g.Table().String(); !strings.Contains(tbl, "*") {
+		t.Errorf("widened tolerance not marked in table:\n%s", tbl)
+	}
+}
+
+// TestGateSingleOutlierRobust: one wild outlier in the current sample
+// must not gate (median and rank test both shrug it off).
+func TestGateSingleOutlierRobust(t *testing.T) {
+	outlier := []float64{200, 202, 198, 201, 2000} // one 10x sample
+	base := synthetic("B", quietNsInst, quietAllocs)
+	cur := synthetic("B", outlier, quietAllocs)
+	g := Compare(base, cur, Options{})
+	if g.Failed() {
+		t.Fatalf("single outlier failed the gate:\n%s", g.Table())
+	}
+}
+
+// TestGateAllocRegression: a doubled allocs/op (the §8.2 allocation
+// discipline) gates even though the values are heavily tied.
+func TestGateAllocRegression(t *testing.T) {
+	base := synthetic("B", quietNsInst, quietAllocs)
+	cur := synthetic("B", quietNsInst, scaled(quietAllocs, 2))
+	g := Compare(base, cur, Options{})
+	regs := g.Regressions()
+	if len(regs) != 1 || regs[0].Unit != "allocs/op" {
+		t.Fatalf("regressions = %+v, want exactly allocs/op", regs)
+	}
+}
+
+// TestGateAllocJitterFloor: 1 -> 2 allocs/op is a 2x ratio but below the
+// absolute floor — must not gate (the O(1)-clone benchmark's guard
+// against ±1 jitter) — while 1 -> 4 must.
+func TestGateAllocJitterFloor(t *testing.T) {
+	one := []float64{1, 1, 1, 1, 1}
+	base := synthetic("B", quietNsInst, one)
+	cur := synthetic("B", quietNsInst, scaled(one, 2))
+	if g := Compare(base, cur, Options{}); g.Failed() {
+		t.Fatalf("1->2 allocs/op gated despite floor:\n%s", g.Table())
+	}
+	cur = synthetic("B", quietNsInst, scaled(one, 4))
+	if g := Compare(base, cur, Options{}); !g.Failed() {
+		t.Fatalf("1->4 allocs/op passed:\n%s", g.Table())
+	}
+}
+
+// TestGateImprovementReported: a 2x speedup is reported as improved,
+// never as a failure.
+func TestGateImprovementReported(t *testing.T) {
+	base := synthetic("B", quietNsInst, quietAllocs)
+	cur := synthetic("B", scaled(quietNsInst, 0.5), quietAllocs)
+	g := Compare(base, cur, Options{})
+	if g.Failed() {
+		t.Fatalf("improvement failed the gate:\n%s", g.Table())
+	}
+	found := false
+	for _, c := range g.Comparisons {
+		if c.Unit == "ns/inst" && c.Verdict == VerdictImproved {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("2x speedup not reported as improved:\n%s", g.Table())
+	}
+}
+
+// TestGateHigherIsBetterMetric: for throughput units a *drop* is the
+// regression direction.
+func TestGateHigherIsBetterMetric(t *testing.T) {
+	mk := func(v []float64) *Suite {
+		return &Suite{
+			Schema: SchemaVersion, SuiteName: "sampling",
+			Env:        Fingerprint{CPUModel: "Test CPU", NumCPU: 8},
+			Benchmarks: Measurements{"BenchmarkSamplingEndToEnd": {"ff-Minst/s": v}},
+		}
+	}
+	throughput := []float64{50, 51, 49, 50.5, 49.5}
+	// Halved throughput: regression.
+	g := Compare(mk(throughput), mk(scaled(throughput, 0.5)), Options{})
+	regs := g.Regressions()
+	if len(regs) != 1 || regs[0].Unit != "ff-Minst/s" {
+		t.Fatalf("halved throughput: regressions = %+v", regs)
+	}
+	if regs[0].Ratio < 1.9 || regs[0].Ratio > 2.1 {
+		t.Errorf("worseness ratio = %v, want ~2", regs[0].Ratio)
+	}
+	// Doubled throughput: improvement.
+	g = Compare(mk(throughput), mk(scaled(throughput, 2)), Options{})
+	if g.Failed() {
+		t.Fatalf("doubled throughput failed the gate:\n%s", g.Table())
+	}
+}
+
+// TestGateMissingBenchmarkFails: deleting a gated benchmark must fail —
+// baselines are refreshed deliberately, not by attrition.
+func TestGateMissingBenchmarkFails(t *testing.T) {
+	base := synthetic("BenchmarkCoreHotLoop/BIG/mcf", quietNsInst, quietAllocs)
+	cur := synthetic("BenchmarkSomethingElse", quietNsInst, quietAllocs)
+	g := Compare(base, cur, Options{})
+	if !g.Failed() {
+		t.Fatal("missing benchmark passed the gate")
+	}
+	for _, c := range g.Regressions() {
+		if c.Verdict != VerdictMissing {
+			t.Errorf("verdict = %s, want MISSING", c.Verdict)
+		}
+	}
+	// The unexpected new benchmark lands in the footer, not the verdicts.
+	if len(g.NewBenches) != 1 || g.NewBenches[0] != "BenchmarkSomethingElse" {
+		t.Errorf("NewBenches = %v", g.NewBenches)
+	}
+	if tbl := g.Table().String(); !strings.Contains(tbl, "BenchmarkSomethingElse") {
+		t.Errorf("new benchmark not mentioned in table footer:\n%s", tbl)
+	}
+}
+
+// TestGateHardwareMismatchWidens: a baseline from different hardware
+// widens tolerances and annotates the table instead of refusing.
+func TestGateHardwareMismatchWidens(t *testing.T) {
+	base := synthetic("B", quietNsInst, quietAllocs)
+	base.Env.CPUModel = "Other CPU"
+	cur := synthetic("B", scaled(quietNsInst, 1.2), quietAllocs)
+	g := Compare(base, cur, Options{})
+	if g.HardwareMatch {
+		t.Fatal("hardware mismatch not detected")
+	}
+	// 20% shift vs tolerance 1.10+0.15: passes, with the table noting why.
+	if g.Failed() {
+		t.Fatalf("cross-hardware 20%% shift gated despite widening:\n%s", g.Table())
+	}
+	if tbl := g.Table().String(); !strings.Contains(tbl, "hardware differs") {
+		t.Errorf("table missing hardware note:\n%s", tbl)
+	}
+}
+
+// TestGateSummary pins the one-line summary shape CI prints.
+func TestGateSummary(t *testing.T) {
+	base := synthetic("B", quietNsInst, quietAllocs)
+	cur := synthetic("B", scaled(quietNsInst, 2), quietAllocs)
+	g := Compare(base, cur, Options{})
+	s := g.Summary()
+	for _, want := range []string{"suite core", "1 regressions"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package perfgate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"strconv"
+)
+
+// Runner executes benchmark suites as `go test -bench` subprocesses and
+// parses the results. A subprocess (rather than testing.Benchmark in
+// this process) keeps the benchmarks exactly where developers run them —
+// the _test.go files — and guarantees the gate measures the same code
+// `make bench` does, compiler flags and all.
+type Runner struct {
+	Dir string // module root the subprocess runs in ("." by default)
+
+	// Count is the number of measured repetitions per benchmark
+	// (default 5). The runner actually executes Count+Warmup
+	// repetitions and discards the first Warmup samples of every
+	// metric: -count reruns happen in one warmed process, so dropping
+	// the leading repetitions removes code-page, allocator, and
+	// page-cache cold-start from the gated distribution.
+	Count  int
+	Warmup int // warm-up repetitions to discard (default 1)
+
+	// BenchTime is passed through as -benchtime when non-empty (e.g.
+	// "0.5s" to shorten local runs at the cost of noise).
+	BenchTime string
+
+	GoBin  string    // go tool to invoke (default "go")
+	RawOut io.Writer // optional tee of the raw go test output (CI artifact)
+	Log    io.Writer // optional progress log (one line per suite)
+}
+
+func (r *Runner) count() int {
+	if r.Count <= 0 {
+		return 5
+	}
+	return r.Count
+}
+
+func (r *Runner) warmup() int {
+	if r.Warmup < 0 {
+		return 0
+	}
+	if r.Warmup == 0 {
+		return 1
+	}
+	return r.Warmup
+}
+
+func (r *Runner) gobin() string {
+	if r.GoBin == "" {
+		return "go"
+	}
+	return r.GoBin
+}
+
+// Run executes one suite and returns its measured Suite (environment
+// fingerprint included). The raw subprocess output is teed to RawOut
+// when set. Benchmark failures, non-zero exits and empty result sets are
+// all errors — the gate never passes on a run that did not measure.
+func (r *Runner) Run(ctx context.Context, spec SuiteSpec) (*Suite, error) {
+	reps := r.count() + r.warmup()
+	args := []string{
+		"test",
+		"-run", "^$",
+		"-bench", spec.Pattern,
+		"-benchmem",
+		"-count", strconv.Itoa(reps),
+	}
+	if r.BenchTime != "" {
+		args = append(args, "-benchtime", r.BenchTime)
+	}
+	args = append(args, spec.Pkg)
+
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, "perfgate: suite %s: go %s\n", spec.Name, joinArgs(args))
+	}
+
+	cmd := exec.CommandContext(ctx, r.gobin(), args...)
+	cmd.Dir = r.Dir
+	var buf bytes.Buffer
+	out := io.Writer(&buf)
+	if r.RawOut != nil {
+		out = io.MultiWriter(&buf, r.RawOut)
+	}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	runErr := cmd.Run()
+
+	meas, cpu, parseErr := ParseBench(bytes.NewReader(buf.Bytes()))
+	if runErr != nil {
+		return nil, fmt.Errorf("suite %s: %s %s: %w\n%s",
+			spec.Name, r.gobin(), joinArgs(args), runErr, tail(buf.Bytes(), 2048))
+	}
+	if parseErr != nil {
+		return nil, fmt.Errorf("suite %s: %w", spec.Name, parseErr)
+	}
+	if len(meas) == 0 {
+		return nil, fmt.Errorf("suite %s: no benchmarks matched %q in %s", spec.Name, spec.Pattern, spec.Pkg)
+	}
+	discardWarmup(meas, r.warmup())
+
+	env := CurrentFingerprint(r.Dir)
+	if env.CPUModel == "" {
+		env.CPUModel = cpu
+	}
+	return &Suite{
+		Schema:     SchemaVersion,
+		SuiteName:  spec.Name,
+		Env:        env,
+		Benchmarks: meas,
+	}, nil
+}
+
+// joinArgs renders an argv for log lines.
+func joinArgs(args []string) string {
+	var b bytes.Buffer
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a)
+	}
+	return b.String()
+}
+
+// tail returns the last n bytes of b as a string, for error context.
+func tail(b []byte, n int) string {
+	if len(b) > n {
+		b = b[len(b)-n:]
+	}
+	return string(b)
+}

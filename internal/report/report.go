@@ -10,11 +10,15 @@ import (
 	"strings"
 )
 
-// Table is a simple aligned text table.
+// Table is a simple aligned text table. Footer lines, when present, are
+// rendered after the rows (text and markdown renderings only — CSV stays
+// pure data), for legends and policy notes that belong with the table
+// but not in it.
 type Table struct {
 	Title   string
 	Headers []string
 	Rows    [][]string
+	Footer  []string
 }
 
 // AddRow appends a row of cells.
@@ -73,6 +77,9 @@ func (t *Table) Render(w io.Writer) {
 	line(sep)
 	for _, r := range t.Rows {
 		line(r)
+	}
+	for _, f := range t.Footer {
+		fmt.Fprintln(w, "  "+f)
 	}
 }
 
@@ -162,6 +169,9 @@ func (t *Table) Markdown(w io.Writer) {
 	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
 	for _, r := range t.Rows {
 		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, f := range t.Footer {
+		fmt.Fprintf(w, "\n_%s_\n", f)
 	}
 }
 

@@ -101,3 +101,30 @@ func TestSeriesExportFormats(t *testing.T) {
 		t.Errorf("series markdown broken: %q", m.String())
 	}
 }
+
+func TestTableFooter(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	tb.Footer = []string{"legend line one", "legend line two"}
+	s := tb.String()
+	if !strings.Contains(s, "legend line one") || !strings.Contains(s, "legend line two") {
+		t.Errorf("text rendering missing footer lines:\n%s", s)
+	}
+	// Footer must come after the data rows.
+	if strings.Index(s, "legend line one") < strings.Index(s, "1") {
+		t.Errorf("footer rendered before rows:\n%s", s)
+	}
+
+	var md strings.Builder
+	tb.Markdown(&md)
+	if !strings.Contains(md.String(), "_legend line one_") {
+		t.Errorf("markdown rendering missing italic footer:\n%s", md.String())
+	}
+
+	// CSV stays pure data: no footer lines.
+	var csv strings.Builder
+	tb.CSV(&csv)
+	if strings.Contains(csv.String(), "legend") {
+		t.Errorf("CSV rendering must not include footer:\n%s", csv.String())
+	}
+}

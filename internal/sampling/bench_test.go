@@ -31,5 +31,10 @@ func BenchmarkSamplingEndToEnd(b *testing.B) {
 	}
 	total := uint64(cfg.Intervals)*cfg.IntervalInsts + last.FFInsts()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/inst")
-	b.ReportMetric(last.Sweep.FFInstsPerSec()/1e6, "ff-Minst/s")
+	// Report the sweep-level throughput metrics (ff-Minst/s and friends)
+	// through the shared plumbing so this benchmark and the perfgate
+	// baselines always agree on names and directions.
+	for _, m := range last.Sweep.BenchMetrics() {
+		b.ReportMetric(m.Value, m.Unit)
+	}
 }

@@ -67,6 +67,36 @@ func (s Stats) FFInstsPerSec() float64 {
 	return float64(s.FFInsts) / s.FFTime.Seconds()
 }
 
+// BenchMetric is one benchmark-ready measurement derived from a sweep
+// run, in the (value, unit) shape testing.B.ReportMetric consumes.
+type BenchMetric struct {
+	Value float64
+	Unit  string
+}
+
+// BenchMetrics returns the sweep's throughput and allocation metrics in
+// a fixed, deterministic order, for benchmarks that report a whole run
+// through testing.B.ReportMetric (internal/sampling's end-to-end bench).
+// The units deliberately match the perfgate direction table: "Minst/s"
+// and "ff-Minst/s" are higher-is-better throughputs, "allocs/Kinst" is
+// a lower-is-better allocation-discipline signal. Metrics whose inputs
+// were not measured (no fast-forward, no allocation accounting) are
+// omitted rather than reported as zero, so a baseline never records a
+// meaningless 0 to gate against.
+func (s Stats) BenchMetrics() []BenchMetric {
+	var m []BenchMetric
+	if s.SimInsts > 0 && s.Wall > 0 {
+		m = append(m, BenchMetric{s.InstsPerSec() / 1e6, "Minst/s"})
+	}
+	if s.SimInsts > 0 && s.Allocs > 0 {
+		m = append(m, BenchMetric{s.AllocsPerKInst(), "allocs/Kinst"})
+	}
+	if s.FFInsts > 0 && s.FFTime > 0 {
+		m = append(m, BenchMetric{s.FFInstsPerSec() / 1e6, "ff-Minst/s"})
+	}
+	return m
+}
+
 // String renders a one-line human-readable summary, e.g.
 //
 //	145 jobs in 2.31s (8 workers): 140 run, 5 cache hits, 42.0 Minst, 18.2 Minst/s
