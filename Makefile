@@ -21,14 +21,18 @@
 #                intentional perf change; see EXPERIMENTS.md)
 #   make bench-gate-full    the nightly gate: double repetitions
 #   make fuzz    run of the core's random-flush fuzzer (FUZZTIME=30s)
+#   make serve-smoke  end-to-end smoke of the fxad daemon over real
+#                HTTP: build, serve, submit, stream, cache-hit, SIGTERM
 
 GO ?= go
 
 # Packages with real concurrency: the sweep engine, the sampling harness
-# that parallelizes detailed windows through it, and the emulator whose
-# copy-on-write clones execute on other goroutines. (The root package's
-# multi-worker determinism tests run under race in race-full.)
-RACE_PKGS = ./internal/sweep ./internal/sampling ./internal/emu
+# that parallelizes detailed windows through it, the emulator whose
+# copy-on-write clones execute on other goroutines, and the serving
+# fabric that multiplexes concurrent tenants onto the sweep path. (The
+# root package's multi-worker determinism tests run under race in
+# race-full.)
+RACE_PKGS = ./internal/sweep ./internal/sampling ./internal/emu ./internal/serve
 
 # Perfgate knobs (override on the command line, e.g.
 # `make bench-gate PERFGATE_BENCHOUT=bench-raw.txt`).
@@ -49,7 +53,7 @@ STATICCHECK ?= staticcheck
 
 .PHONY: tier1 check build vet test race race-full lint fmt-check \
 	bench bench-emu bench-figures bench-gate bench-gate-full \
-	bench-gate-update fuzz
+	bench-gate-update fuzz serve-smoke
 
 tier1: build vet test race
 
@@ -127,3 +131,9 @@ bench-gate-update:
 # always runs as part of `make test` via TestFuzzRandomFlush).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRandomFlush -fuzztime $(FUZZTIME) ./internal/core
+
+# End-to-end smoke of the built fxad binary: start it, walk a job
+# through the HTTP API with curl, prove a resubmission hits the shared
+# cache, and check SIGTERM drains to a clean exit 0.
+serve-smoke:
+	./scripts/serve_smoke.sh

@@ -5,6 +5,7 @@
 //
 //	fxabench [-n insts] [-warmup insts] [-ffmode fast|step]
 //	         [-j workers] [-cache] [-cachedir dir]
+//	         [-serve-url http://host:port] [-tenant name]
 //	         [-experiment all|table1|table2|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|headline]
 //	         [-format text|csv|markdown] [-q]
 //	         [-cpuprofile file] [-memprofile file]
@@ -64,6 +65,15 @@
 // content-addressed on-disk cache (-cachedir, default
 // $XDG_CACHE_HOME/fxabench) so repeated invocations with unchanged
 // configurations skip simulation entirely.
+//
+// With -serve-url, the main evaluation sweep (fig7/fig8a/fig8b/fig10/
+// headline) runs on a remote fxad daemon instead of locally: each
+// (workload, model) cell becomes one job, interval metrics stream back
+// live, and the daemon's shared cache serves hits across every client.
+// Remote results are bit-identical to a local run of the same
+// configuration (differential-test-enforced). The sensitivity sweeps
+// (fig11-fig13) vary private model knobs the daemon does not expose and
+// always run locally.
 package main
 
 import (
@@ -81,6 +91,7 @@ import (
 	"fxa"
 	"fxa/internal/energy"
 	"fxa/internal/report"
+	"fxa/internal/serve"
 )
 
 // exitHooks run before any process exit (normal return or fatal), because
@@ -121,6 +132,8 @@ func main() {
 	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 	useCache := flag.Bool("cache", false, "cache simulation results on disk and reuse them")
 	cacheDir := flag.String("cachedir", "", "result cache directory (implies -cache; default $XDG_CACHE_HOME/fxabench)")
+	serveURL := flag.String("serve-url", "", "run the main evaluation sweep on a remote fxad daemon at this base URL")
+	tenant := flag.String("tenant", "", "tenant name stamped on remote submissions (with -serve-url)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	intervals := flag.Uint64("intervals", 0, "single-run mode: collect interval metrics every N committed instructions (requires -workload/-model)")
@@ -141,6 +154,9 @@ func main() {
 	}
 	if !contains(validFormats, *format) && !(*format == "json" && *intervals > 0) {
 		fatal(fmt.Errorf("unknown format %q (valid: %s; json with -intervals)", *format, strings.Join(validFormats, ", ")))
+	}
+	if *tenant != "" && *serveURL == "" {
+		fatal(fmt.Errorf("-tenant requires -serve-url"))
 	}
 	if !*gateMode {
 		// The perfgate knobs mean nothing outside -perfgate; reject
@@ -279,6 +295,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\r%-78s\r", "")
 		fmt.Fprintf(os.Stderr, "%s: %s\n", stage, stats)
 	}
+	localNote := func(stage string) {
+		if *serveURL != "" && !*quiet {
+			fmt.Fprintf(os.Stderr, "fxabench: %s runs locally; -serve-url covers only the main evaluation sweep\n", stage)
+		}
+	}
 
 	wants := func(name string) bool { return *exp == "all" || *exp == name }
 	ctx := context.Background()
@@ -298,13 +319,21 @@ func main() {
 	}
 	var ev *fxa.Evaluation
 	if needSweep {
-		var err error
-		var stats fxa.SweepStats
-		ev, stats, err = fxa.RunEvaluationSweepWarm(ctx, *warmup, *n, progressOpts("main sweep"))
-		if err != nil {
-			fatal(err)
+		if *serveURL != "" {
+			var err error
+			ev, err = runRemoteSweep(ctx, *serveURL, *tenant, *warmup, *n, *workers, *quiet)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			var err error
+			var stats fxa.SweepStats
+			ev, stats, err = fxa.RunEvaluationSweepWarm(ctx, *warmup, *n, progressOpts("main sweep"))
+			if err != nil {
+				fatal(err)
+			}
+			done("main sweep", stats)
 		}
-		done("main sweep", stats)
 	}
 	if wants("fig7") {
 		show(ev.Figure7Table())
@@ -324,6 +353,7 @@ func main() {
 		show(ev.Figure10Table())
 	}
 	if wants("fig11") {
+		localNote("figure 11 sweep")
 		s, stats, err := fxa.RunFigure11Sweep(ctx, *n, progressOpts("figure 11 sweep"))
 		if err != nil {
 			fatal(err)
@@ -332,6 +362,7 @@ func main() {
 		show(s)
 	}
 	if wants("fig12") || wants("fig13") {
+		localNote("figure 12/13 sweep")
 		f12, f13, stats, err := fxa.RunFigure1213Sweep(ctx, *n, progressOpts("figure 12/13 sweep"))
 		if err != nil {
 			fatal(err)
@@ -347,6 +378,37 @@ func main() {
 	if wants("headline") {
 		printHeadline(ev)
 	}
+}
+
+// runRemoteSweep runs the main evaluation matrix on a remote fxad
+// daemon and reassembles the Evaluation locally. Results are
+// bit-identical to a local sweep of the same -warmup/-n.
+func runRemoteSweep(ctx context.Context, baseURL, tenant string, warmup, n uint64, workers int, quiet bool) (*fxa.Evaluation, error) {
+	client := &serve.Client{BaseURL: baseURL, Tenant: tenant}
+	if _, err := client.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("cannot reach fxad at %s: %w", baseURL, err)
+	}
+	onDone := func(done, total int, label string, cached bool) {
+		if quiet {
+			return
+		}
+		suffix := ""
+		if cached {
+			suffix = " (cached)"
+		}
+		fmt.Fprintf(os.Stderr, "\r%-78s",
+			fmt.Sprintf("remote sweep [%d/%d] %s%s", done, total, label, suffix))
+	}
+	ev, hits, err := serve.RemoteEvaluation(ctx, client, warmup, n, workers, onDone)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		total := len(fxa.Workloads()) * len(fxa.Models())
+		fmt.Fprintf(os.Stderr, "\r%-78s\r", "")
+		fmt.Fprintf(os.Stderr, "remote sweep: %d jobs, %d served from the daemon's shared cache\n", total, hits)
+	}
+	return ev, nil
 }
 
 // defaultCacheDir picks the per-user cache location, falling back to a

@@ -1,0 +1,197 @@
+// Command fxad serves FXA simulations over HTTP: a long-lived daemon
+// that accepts evaluation-cell jobs, runs them on a bounded worker pool
+// with per-tenant weighted fairness, and streams schema-versioned
+// interval metrics and results back as NDJSON. All tenants share one
+// content-addressed result cache, so a cell any client has ever run is
+// a cache hit for every later client, and identical cells submitted
+// concurrently collapse onto a single simulation.
+//
+// Usage:
+//
+//	fxad [-addr host:port] [-j workers] [-cachedir dir | -nocache]
+//	     [-queue cap] [-retain n] [-drain timeout]
+//	     [-weights tenant=w,tenant=w,...]
+//	fxad -version
+//
+// The API (see internal/serve):
+//
+//	POST   /v1/jobs      submit a job; 202 + {"id": ...}, 429 when full
+//	GET    /v1/jobs/{id} NDJSON event stream (replays on re-attach)
+//	DELETE /v1/jobs/{id} cancel a queued or in-flight job
+//	GET    /v1/stats     queue, cache, and per-tenant counters
+//	GET    /healthz      liveness + build version
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs, drains in-flight
+// work for up to -drain, then aborts whatever remains and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"fxa/internal/serve"
+	"fxa/internal/sweep"
+)
+
+// version is stamped via -ldflags "-X main.version=..."; when absent we
+// fall back to the VCS revision baked into the build info.
+var version = ""
+
+func buildVersion() string {
+	if version != "" {
+		return version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			return bi.Main.Version
+		}
+	}
+	return "devel"
+}
+
+// parseWeights parses "a=3,b=1" into a tenant-weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fxad: -weights entry %q is not tenant=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("fxad: -weights entry %q needs a positive integer weight", part)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	return weights, nil
+}
+
+func defaultCacheDir() string {
+	if base, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(base, "fxad")
+	}
+	return ".fxad-cache"
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7790", "listen address")
+	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cachedir", "", "shared result cache directory (default $XDG_CACHE_HOME/fxad)")
+	noCache := flag.Bool("nocache", false, "run without the shared result cache")
+	queueCap := flag.Int("queue", serve.DefaultQueueCap, "queued-job cap before submissions get 429")
+	retain := flag.Int("retain", serve.DefaultRetainJobs, "completed jobs retained for re-attach")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight jobs")
+	weightsFlag := flag.String("weights", "", "per-tenant fair-share weights, e.g. batch=1,interactive=3 (unlisted tenants get weight 1)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("fxad %s\n", buildVersion())
+		return
+	}
+	if err := run(*addr, *workers, *cacheDir, *noCache, *queueCap, *retain, *drain, *weightsFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "fxad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, cacheDir string, noCache bool, queueCap, retain int, drain time.Duration, weightsFlag string) error {
+	weights, err := parseWeights(weightsFlag)
+	if err != nil {
+		return err
+	}
+
+	var cache *sweep.Cache
+	if !noCache {
+		dir := cacheDir
+		if dir == "" {
+			dir = defaultCacheDir()
+		}
+		cache, err = sweep.OpenCache(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fxad: result cache at %s\n", dir)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:       workers,
+		QueueCap:      queueCap,
+		Cache:         cache,
+		TenantWeights: weights,
+		RetainJobs:    retain,
+		Version:       buildVersion(),
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	// The smoke script and tests parse this line to find the bound port
+	// (addr may be ":0").
+	fmt.Printf("fxad: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "fxad: %v: draining (up to %v)\n", s, drain)
+	}
+
+	// Stop accepting first, then drain simulations, then close the
+	// listener: streams stay attached while their jobs finish.
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "fxad: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "fxad: bye")
+	return nil
+}

@@ -80,9 +80,35 @@ func (f *ffMeter) add(insts uint64, d time.Duration) {
 	f.nanos.Add(int64(d))
 }
 
+// newCellTrace builds the dynamic-instruction stream for one evaluation
+// cell: warmup > 0 prepends a functional fast-forward (emulator-only, no
+// timing) to the detailed window, and ff (nil-safe) accounts its cost.
+func newCellTrace(m Model, w Workload, warmup, maxInsts uint64, ff *ffMeter) (*emu.Stream, error) {
+	if warmup == 0 {
+		return w.NewTrace(maxInsts)
+	}
+	prog, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Time only the emulator's fast-forward, not program build
+	// or machine setup, so Stats.FFInstsPerSec reports the
+	// fast path's real throughput.
+	machine := emu.New(prog)
+	t0 := time.Now()
+	n, err := machine.Run(warmup)
+	ff.add(n, time.Since(t0))
+	if err != nil {
+		return nil, fmt.Errorf("fxa: %s on %s: warmup: %w", m.Name, w.Name, err)
+	}
+	limit := maxInsts
+	if limit > 0 {
+		limit += machine.InstCount
+	}
+	return emu.NewStream(machine, limit), nil
+}
+
 // runJob builds the sweep job for one (model, workload) evaluation cell.
-// warmup > 0 prepends a functional fast-forward (emulator-only, no
-// timing) to the detailed window, and ff accounts its cost.
 func runJob(m Model, w Workload, warmup, maxInsts uint64, ff *ffMeter) sweep.Job {
 	return sweep.Job{
 		Label:       w.Name + "/" + m.Name,
@@ -91,33 +117,9 @@ func runJob(m Model, w Workload, warmup, maxInsts uint64, ff *ffMeter) sweep.Job
 			// The job's ctx reaches the engine layer, so cancelling the
 			// sweep interrupts an in-flight simulation within a few
 			// thousand simulated cycles instead of waiting it out.
-			var trace *emu.Stream
-			if warmup == 0 {
-				t, err := w.NewTrace(maxInsts)
-				if err != nil {
-					return Result{}, err
-				}
-				trace = t
-			} else {
-				prog, err := w.Build()
-				if err != nil {
-					return Result{}, err
-				}
-				// Time only the emulator's fast-forward, not program build
-				// or machine setup, so Stats.FFInstsPerSec reports the
-				// fast path's real throughput.
-				machine := emu.New(prog)
-				t0 := time.Now()
-				n, err := machine.Run(warmup)
-				ff.add(n, time.Since(t0))
-				if err != nil {
-					return Result{}, fmt.Errorf("fxa: %s on %s: warmup: %w", m.Name, w.Name, err)
-				}
-				limit := maxInsts
-				if limit > 0 {
-					limit += machine.InstCount
-				}
-				trace = emu.NewStream(machine, limit)
+			trace, err := newCellTrace(m, w, warmup, maxInsts, ff)
+			if err != nil {
+				return Result{}, err
 			}
 			res, err := RunTraceContext(ctx, m, trace)
 			if err != nil {
@@ -129,6 +131,44 @@ func runJob(m Model, w Workload, warmup, maxInsts uint64, ff *ffMeter) sweep.Job
 			return res, nil
 		},
 	}
+}
+
+// EvaluationJob returns the sweep job for one (model, workload) cell —
+// the exact job RunEvaluationSweepWarm submits, fingerprint included, so
+// an external executor (the fxad daemon) shares cache identity with
+// local sweeps: a cell simulated by the CLI is a cache hit for the
+// daemon and vice versa.
+func EvaluationJob(m Model, w Workload, warmup, maxInsts uint64) SweepJob {
+	return runJob(m, w, warmup, maxInsts, nil)
+}
+
+// EvaluationJobIntervals is EvaluationJob with live interval streaming:
+// onInterval receives each interval as the engine layer cuts it, roughly
+// every `every` committed instructions. The returned job's Result is
+// stripped of the interval series before it is returned (and thus before
+// it is cached), so a streamed run stores and reports a Result
+// bit-identical to a plain EvaluationJob run — interval collection is
+// observation-only and the wire stream is the only consumer of the
+// series. The fingerprint is identical to EvaluationJob's for the same
+// reason: streaming does not change what the simulation computes.
+func EvaluationJobIntervals(m Model, w Workload, warmup, maxInsts, every uint64, onInterval func(Interval)) SweepJob {
+	j := runJob(m, w, warmup, maxInsts, nil)
+	j.Run = func(ctx context.Context) (Result, error) {
+		trace, err := newCellTrace(m, w, warmup, maxInsts, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		res, err := RunTraceIntervalsStream(ctx, m, trace, every, onInterval)
+		if err != nil {
+			return Result{}, fmt.Errorf("fxa: %s on %s: %w", m.Name, w.Name, err)
+		}
+		if terr := trace.Err(); terr != nil {
+			return Result{}, fmt.Errorf("fxa: %s trace: %w", w.Name, terr)
+		}
+		res.Intervals = nil
+		return res, nil
+	}
+	return j
 }
 
 // RunEvaluation runs all 29 proxies on all five models for maxInsts
@@ -183,6 +223,22 @@ func RunEvaluationSweepWarm(ctx context.Context, warmup, maxInsts uint64, opts S
 	if err != nil {
 		return nil, stats, err
 	}
+	ev, err = NewEvaluation(warmup, maxInsts, results)
+	return ev, stats, err
+}
+
+// NewEvaluation assembles an Evaluation from per-cell results given in
+// Workloads() × Models() order — the order RunEvaluationSweepWarm
+// submits its jobs and the order a remote client receives them back.
+// Energies are estimated here, so a result set produced elsewhere (the
+// fxad daemon) yields an Evaluation bit-identical to a local sweep's.
+func NewEvaluation(warmup, maxInsts uint64, results []Result) (*Evaluation, error) {
+	ev := &Evaluation{MaxInsts: maxInsts, Warmup: warmup, Models: Models()}
+	ws := Workloads()
+	if len(results) != len(ws)*len(ev.Models) {
+		return nil, fmt.Errorf("fxa: NewEvaluation: %d results, want %d (%d workloads x %d models)",
+			len(results), len(ws)*len(ev.Models), len(ws), len(ev.Models))
+	}
 	for wi, w := range ws {
 		row := BenchResult{
 			Workload: w,
@@ -196,7 +252,7 @@ func RunEvaluationSweepWarm(ctx context.Context, warmup, maxInsts uint64, opts S
 		}
 		ev.Rows = append(ev.Rows, row)
 	}
-	return ev, stats, nil
+	return ev, nil
 }
 
 // Group selects a benchmark-group slice of the evaluation.

@@ -46,6 +46,11 @@ type SweepStats = sweep.Stats
 // always invoked from a single goroutine.
 type SweepEvent = sweep.Event
 
+// SweepJob is one unit of sweep work: a labelled, fingerprinted,
+// self-contained simulation run. EvaluationJob builds the canonical one;
+// external executors (internal/serve) run them through sweep.RunOne.
+type SweepJob = sweep.Job
+
 // SweepCache is the content-addressed on-disk result cache.
 type SweepCache = sweep.Cache
 
@@ -248,4 +253,17 @@ func RunTraceIntervals(ctx context.Context, m Model, trace *emu.Stream, interval
 		return Result{}, err
 	}
 	return engine.Drive(ctx, e, engine.Options{IntervalInsts: intervalInsts})
+}
+
+// RunTraceIntervalsStream is RunTraceIntervals with a live consumer:
+// onInterval is invoked synchronously from the driving goroutine as each
+// interval is cut, including the tail interval, so a serving layer can
+// push the series over the wire while the simulation is still running.
+// The returned Result carries the same series in Result.Intervals.
+func RunTraceIntervalsStream(ctx context.Context, m Model, trace *emu.Stream, intervalInsts uint64, onInterval func(Interval)) (Result, error) {
+	e, err := engine.New(m, trace)
+	if err != nil {
+		return Result{}, err
+	}
+	return engine.Drive(ctx, e, engine.Options{IntervalInsts: intervalInsts, OnInterval: onInterval})
 }

@@ -139,6 +139,12 @@ func (co *Core) clearRAT() {
 	}
 }
 
+// LeakCheck verifies uop conservation after a drained or aborted run
+// (engine.LeakChecker). Drive calls it on every cancellation so aborted
+// daemon and sweep jobs are leak-verified in production, not only under
+// the fuzz suite.
+func (co *Core) LeakCheck() error { return co.leakCheck() }
+
 // leakCheck (testing support) verifies uop conservation after a run has
 // drained: every uop ever taken from the pool must either be back in it or
 // still referenced — and after a drain the only legal referents are

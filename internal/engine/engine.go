@@ -28,6 +28,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"fxa/internal/config"
@@ -62,6 +63,17 @@ type Engine interface {
 // stopped; engines whose state is garbage-collected may omit it.
 type Aborter interface {
 	Abort()
+}
+
+// LeakChecker is an optional Engine extension: LeakCheck verifies that a
+// drained or aborted engine holds no leaked pooled resources (the
+// out-of-order core's uop conservation invariant). Drive consults it
+// after an Abort so every cancellation path in the system — sweep, the
+// serving daemon, the CLI — is leak-verified for free; a violation is
+// joined onto the returned cancellation error instead of going unnoticed
+// until the next fuzz run.
+type LeakChecker interface {
+	LeakCheck() error
 }
 
 // OccupancyReporter is an optional Engine extension exposing
@@ -160,6 +172,15 @@ type Options struct {
 	// CheckEvery is the Step slice in cycles between cancellation and
 	// interval checks. <= 0 means DefaultCheckEvery.
 	CheckEvery int64
+
+	// OnInterval, if non-nil (and IntervalInsts > 0), is invoked
+	// synchronously from the driving goroutine as each interval is cut,
+	// including the tail interval at the end of the run. It is how the
+	// serving layer streams a run's interval series over the wire while
+	// the simulation is still in flight, instead of waiting for the
+	// assembled Result. The callback receives a copy and may retain it;
+	// the same intervals still appear in Result.Intervals.
+	OnInterval func(Interval)
 }
 
 // Drive runs e to completion: repeated bounded Steps with a cancellation
@@ -176,6 +197,7 @@ func Drive(ctx context.Context, e Engine, opts Options) (Result, error) {
 	var col *intervalCollector
 	if opts.IntervalInsts > 0 {
 		col = newIntervalCollector(e, opts.IntervalInsts)
+		col.on = opts.OnInterval
 	}
 	done := ctx.Done()
 	for {
@@ -195,7 +217,13 @@ func Drive(ctx context.Context, e Engine, opts Options) (Result, error) {
 				if a, ok := e.(Aborter); ok {
 					a.Abort()
 				}
-				return Result{}, ctx.Err()
+				err := ctx.Err()
+				if lc, ok := e.(LeakChecker); ok {
+					if lerr := lc.LeakCheck(); lerr != nil {
+						err = errors.Join(err, lerr)
+					}
+				}
+				return Result{}, err
 			default:
 			}
 		}

@@ -13,6 +13,7 @@ type intervalCollector struct {
 	next  uint64 // next boundary (committed instructions)
 	prev  Result // snapshot at the previous cut
 	ivs   []Interval
+	on    func(Interval) // live-streaming hook (Options.OnInterval), may be nil
 }
 
 func newIntervalCollector(e Engine, every uint64) *intervalCollector {
@@ -53,4 +54,7 @@ func (c *intervalCollector) cut(e Engine, cur *Result) {
 	}
 	c.ivs = append(c.ivs, iv)
 	c.prev = *cur
+	if c.on != nil {
+		c.on(iv)
+	}
 }

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fxa"
+	"fxa/internal/engine"
+)
+
+// Client talks to a running fxad daemon. The zero value is not usable;
+// set BaseURL (and optionally Tenant / HTTPClient).
+type Client struct {
+	// BaseURL roots the API, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant stamps submissions that leave JobSpec.Tenant empty.
+	Tenant string
+	// HTTPClient defaults to http.DefaultClient. Streaming requests are
+	// long-lived, so a client with a global Timeout will sever them.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// decodeError turns a non-2xx response into an error carrying the wire
+// message.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er ErrorReply
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return fmt.Errorf("serve: %s: %s", resp.Status, er.Error)
+	}
+	return fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// Submit submits one job and returns its ID. Backpressure (429) and
+// drain (503) responses are retried after the server's Retry-After —
+// the bounded queue makes the client pace itself — until ctx expires.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (string, error) {
+	if spec.Tenant == "" {
+		spec.Tenant = c.Tenant
+	}
+	body, err := json.Marshal(&spec)
+	if err != nil {
+		return "", fmt.Errorf("serve: marshal job spec: %w", err)
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return "", err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK, http.StatusCreated:
+			var rep SubmitReply
+			err := json.NewDecoder(resp.Body).Decode(&rep)
+			resp.Body.Close()
+			if err != nil {
+				return "", fmt.Errorf("serve: decode submit reply: %w", err)
+			}
+			return rep.ID, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			ra := retryAfter(resp)
+			resp.Body.Close()
+			select {
+			case <-time.After(ra):
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		default:
+			return "", decodeError(resp)
+		}
+	}
+}
+
+// retryAfter parses the Retry-After header, defaulting to one second.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return time.Second
+}
+
+// Stream attaches to a job's event stream and invokes fn for every event
+// (replayed and live) until the terminal event, an error, or ctx expiry.
+// The server replays the full log on every attach, so fn must tolerate
+// seeing events it already processed after a reconnect (Event.Seq makes
+// deduplication trivial).
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	// Result events embed a full engine.Result; give the scanner room.
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("serve: decode event: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+		if e.Terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("serve: stream %s: %w", id, err)
+	}
+	return fmt.Errorf("serve: stream %s ended without a terminal event", id)
+}
+
+// Wait streams a job to its terminal event and returns the result. A
+// remote error or cancellation comes back as an error carrying the wire
+// message. cacheHit reports whether the result came from the shared
+// cache or was collapsed onto a concurrent identical run.
+func (c *Client) Wait(ctx context.Context, id string) (res engine.Result, cacheHit bool, err error) {
+	var term *Event
+	err = c.Stream(ctx, id, func(e Event) error {
+		if e.Terminal() {
+			term = &e
+		}
+		return nil
+	})
+	if err != nil {
+		return engine.Result{}, false, err
+	}
+	switch term.Event {
+	case EventResult:
+		return *term.Result, term.CacheHit || term.Collapsed, nil
+	case EventCancelled:
+		return engine.Result{}, false, fmt.Errorf("serve: job %s cancelled: %s", id, term.Error)
+	default:
+		return engine.Result{}, false, fmt.Errorf("serve: job %s failed: %s", id, term.Error)
+	}
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (CancelReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return CancelReply{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return CancelReply{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return CancelReply{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var rep CancelReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return CancelReply{}, fmt.Errorf("serve: decode cancel reply: %w", err)
+	}
+	return rep, nil
+}
+
+// Stats fetches the fabric counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.getJSON(ctx, "/v1/stats", &st)
+	return st, err
+}
+
+// Healthz fetches the liveness view.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("serve: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// RemoteEvaluation runs the full Section VI evaluation matrix against a
+// remote daemon: one job per (workload, model) cell in the same order a
+// local RunEvaluationSweepWarm submits them, assembled with the same
+// NewEvaluation, so the remote evaluation is bit-identical to a local
+// one (differential-test-enforced). onDone, if non-nil, is invoked from
+// a single goroutine after each cell completes.
+//
+// Submission pipelines over `parallel` cells at a time (<= 0 means 8):
+// the client keeps that many jobs streaming while the daemon's own queue
+// and fairness decide execution order; cell results land positionally,
+// so client-side concurrency cannot reorder the evaluation.
+func RemoteEvaluation(ctx context.Context, c *Client, warmup, maxInsts uint64, parallel int, onDone func(done, total int, label string, cached bool)) (*fxa.Evaluation, int, error) {
+	if parallel <= 0 {
+		parallel = 8
+	}
+	ws := fxa.Workloads()
+	models := fxa.Models()
+	type cell struct {
+		idx   int
+		label string
+		spec  JobSpec
+	}
+	cells := make([]cell, 0, len(ws)*len(models))
+	for _, w := range ws {
+		for _, m := range models {
+			cells = append(cells, cell{
+				idx:   len(cells),
+				label: w.Name + "/" + m.Name,
+				spec:  JobSpec{Model: m.Name, Workload: w.Name, Warmup: warmup, MaxInsts: maxInsts},
+			})
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]fxa.Result, len(cells))
+	hits := make([]bool, len(cells))
+	errs := make([]error, len(cells))
+	feed := make(chan cell)
+	type doneMsg struct {
+		idx    int
+		label  string
+		cached bool
+	}
+	doneCh := make(chan doneMsg)
+	go func() {
+		defer close(feed)
+		for _, cl := range cells {
+			select {
+			case feed <- cl:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var workers int
+	if workers = parallel; workers > len(cells) {
+		workers = len(cells)
+	}
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		done := 0
+		for msg := range doneCh {
+			done++
+			if onDone != nil {
+				onDone(done, len(cells), msg.label, msg.cached)
+			}
+		}
+	}()
+	var wg int
+	stop := make(chan struct{})
+	workerDone := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg++
+		go func() {
+			defer func() { workerDone <- struct{}{} }()
+			for cl := range feed {
+				id, err := c.Submit(ctx, cl.spec)
+				if err == nil {
+					results[cl.idx], hits[cl.idx], err = c.Wait(ctx, id)
+				}
+				errs[cl.idx] = err
+				if err != nil {
+					cancel() // fail fast: stop feeding new cells
+					return
+				}
+				select {
+				case doneCh <- doneMsg{idx: cl.idx, label: cl.label, cached: hits[cl.idx]}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	for ; wg > 0; wg-- {
+		<-workerDone
+	}
+	close(stop)
+	close(doneCh)
+	<-finished
+
+	nhits := 0
+	for i, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: remote cell %s: %w", cells[i].label, err)
+		}
+		if hits[i] {
+			nhits++
+		}
+	}
+	ev, err := fxa.NewEvaluation(warmup, maxInsts, results)
+	return ev, nhits, err
+}

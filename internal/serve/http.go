@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs      submit a JobSpec; 202 + {id}, 429 when full
+//	GET    /v1/jobs/{id} NDJSON event stream (replay + live until terminal)
+//	DELETE /v1/jobs/{id} cancel a queued or in-flight job
+//	GET    /v1/stats     fabric counters (queues, cache, tenants)
+//	GET    /healthz      liveness + build version
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON emits one JSON body with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError emits the uniform error body.
+func writeError(w http.ResponseWriter, code int, err error, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, code, ErrorReply{Error: err.Error(), RetryAfter: retryAfter})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode job spec: %w", err), 0)
+		return
+	}
+	jr, err := s.Submit(spec)
+	if err != nil {
+		var full errQueueFull
+		switch {
+		case errors.As(err, &full):
+			// Backpressure: the queue is bounded; tell the client when
+			// the backlog should have drained enough to try again.
+			writeError(w, http.StatusTooManyRequests, err, full.retryAfter)
+		case errors.Is(err, errDraining):
+			writeError(w, http.StatusServiceUnavailable, err, 1)
+		default:
+			writeError(w, http.StatusBadRequest, err, 0)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitReply{ID: jr.id, Status: stateQueued.String()})
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	jr, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q (completed jobs are retained for re-attach up to the retention cap)", r.PathValue("id")), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	pos := 0
+	for {
+		evs, notify, terminal := jr.snapshot(pos)
+		for i := range evs {
+			if err := enc.Encode(&evs[i]); err != nil {
+				return // client went away; the job keeps running
+			}
+		}
+		pos += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			// Client disconnected mid-stream. The job is unaffected;
+			// re-attaching replays the full log.
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id), 0)
+		return
+	}
+	status := state.String()
+	if state == stateRunning {
+		// The abort is in flight; the terminal event lands on the stream
+		// within a few thousand simulated cycles.
+		status = "cancelling"
+	}
+	writeJSON(w, http.StatusOK, CancelReply{ID: id, Status: status})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}

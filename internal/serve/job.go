@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"fxa"
+)
+
+// jobState is a job's position in its lifecycle.
+type jobState int
+
+const (
+	stateQueued jobState = iota
+	stateRunning
+	stateDone      // terminal: result delivered
+	stateFailed    // terminal: error delivered
+	stateCancelled // terminal: cancelled (while queued or in flight)
+)
+
+func (s jobState) String() string {
+	switch s {
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	default:
+		return "cancelled"
+	}
+}
+
+// jobRec is one submitted job: its resolved configuration, its event log
+// (the replayable stream every GET serves), and its cancellation handle.
+//
+// Lifecycle state (state, queue membership) is guarded by the Server's
+// mutex; the event log has its own finer lock so streaming watchers never
+// contend with the scheduler.
+type jobRec struct {
+	id     string
+	tenant string
+	prio   int
+	order  uint64 // global submission sequence (FIFO within tenant+priority)
+	spec   JobSpec
+
+	model    fxa.Model
+	workload fxa.Workload
+
+	ctx    context.Context // cancelled by DELETE, server drain, or server close
+	cancel context.CancelFunc
+
+	// Guarded by Server.mu.
+	state           jobState
+	cancelRequested bool // DELETE arrived (distinguishes client cancel from drain)
+
+	// Event log. evMu guards events/notify; notify is closed and
+	// replaced on every append (broadcast), so any number of watchers
+	// can wait for "something new" without the server tracking them.
+	evMu   sync.Mutex
+	events []Event
+	notify chan struct{}
+}
+
+func newJobRec(base context.Context, id string, order uint64, spec JobSpec, m fxa.Model, w fxa.Workload) *jobRec {
+	ctx, cancel := context.WithCancel(base)
+	return &jobRec{
+		id:       id,
+		tenant:   spec.Tenant,
+		prio:     spec.Priority,
+		order:    order,
+		spec:     spec,
+		model:    m,
+		workload: w,
+		ctx:      ctx,
+		cancel:   cancel,
+		notify:   make(chan struct{}),
+	}
+}
+
+// append records one event and wakes every watcher. Seq and Job are
+// filled in here so emitters only describe the payload.
+func (j *jobRec) append(e Event) {
+	j.evMu.Lock()
+	e.Job = j.id
+	e.Seq = len(j.events)
+	j.events = append(j.events, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.evMu.Unlock()
+}
+
+// snapshot returns the events from position from onward, the channel that
+// will be closed on the next append, and whether the log already ends in
+// a terminal event. Watchers loop: drain, emit, wait on notify.
+func (j *jobRec) snapshot(from int) (evs []Event, notify <-chan struct{}, terminal bool) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if from < len(j.events) {
+		evs = make([]Event, len(j.events)-from)
+		copy(evs, j.events[from:])
+	}
+	n := len(j.events)
+	if n > 0 && j.events[n-1].Terminal() {
+		terminal = true
+	}
+	return evs, j.notify, terminal
+}

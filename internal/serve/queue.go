@@ -1,0 +1,91 @@
+package serve
+
+// Per-tenant weighted fair scheduling.
+//
+// Every tenant owns a FIFO queue (ordered by priority, then submission).
+// Across tenants the scheduler dispatches by weighted round-robin over
+// job count: each tenant carries a served counter, and the next job
+// comes from the backlogged tenant with the smallest served/weight — so
+// a tenant with weight 3 gets three dispatch slots for every slot of a
+// weight-1 tenant, and a tenant that floods the queue cannot starve the
+// others: its own jobs just wait behind its fair share. Ties break on
+// tenant name, so scheduling order is deterministic for a given
+// submission history.
+//
+// The cost unit is one job. The daemon's jobs are single evaluation
+// cells of broadly similar magnitude (a few hundred thousand simulated
+// instructions), so job count tracks simulated work closely enough; a
+// byte- or instruction-weighted virtual time can slot in behind the same
+// pick function if job shapes ever diverge.
+
+// tenantQueue is one tenant's pending jobs plus its fairness state.
+// All fields are guarded by Server.mu.
+type tenantQueue struct {
+	name   string
+	weight int
+	served uint64 // jobs dispatched to workers, ever
+
+	pending []*jobRec // submission order; pick scans for best priority
+
+	stats TenantStats
+}
+
+// pick removes and returns the tenant's next job: highest priority,
+// oldest first. Entries whose state is no longer queued (cancelled while
+// waiting) are dropped on the way. Returns nil when nothing runnable
+// remains.
+func (tq *tenantQueue) pick() *jobRec {
+	best := -1
+	for i := 0; i < len(tq.pending); {
+		j := tq.pending[i]
+		if j.state != stateQueued {
+			// Cancelled while queued: drop lazily.
+			tq.pending = append(tq.pending[:i], tq.pending[i+1:]...)
+			continue
+		}
+		if best < 0 || j.prio > tq.pending[best].prio {
+			best = i
+		}
+		i++
+	}
+	if best < 0 {
+		return nil
+	}
+	j := tq.pending[best]
+	tq.pending = append(tq.pending[:best], tq.pending[best+1:]...)
+	return j
+}
+
+// runnable reports whether the tenant has at least one queued job.
+func (tq *tenantQueue) runnable() bool {
+	for _, j := range tq.pending {
+		if j.state == stateQueued {
+			return true
+		}
+	}
+	return false
+}
+
+// pickTenant chooses the backlogged tenant with the smallest
+// served/weight ratio (weighted round-robin), breaking ties by name.
+// Called with Server.mu held.
+func pickTenant(tenants map[string]*tenantQueue) *tenantQueue {
+	var best *tenantQueue
+	for _, tq := range tenants {
+		if !tq.runnable() {
+			continue
+		}
+		if best == nil {
+			best = tq
+			continue
+		}
+		// best.served/best.weight > tq.served/tq.weight, cross-multiplied
+		// to stay in integers.
+		l := tq.served * uint64(best.weight)
+		r := best.served * uint64(tq.weight)
+		if l < r || (l == r && tq.name < best.name) {
+			best = tq
+		}
+	}
+	return best
+}

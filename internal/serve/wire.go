@@ -1,0 +1,183 @@
+// Wire format of the fxad simulation-as-a-service daemon.
+//
+// Jobs are submitted as one JSON JobSpec (POST /v1/jobs) and observed as
+// an NDJSON event stream (GET /v1/jobs/{id}): one JSON object per line,
+// in the order the server recorded them. The stream is a replayable
+// event log — re-attaching to a job at any time (while it runs, or after
+// it finished) replays every event from the beginning and then continues
+// live, so a dropped connection loses nothing.
+//
+// Results and intervals reuse the engine layer's schema-versioned types
+// verbatim (engine.Result / engine.Interval, schema v2) — the wire format
+// introduces no second serialization of simulation data, which is what
+// makes remote results bit-identical to local ones (test-enforced).
+package serve
+
+import (
+	"fmt"
+
+	"fxa/internal/engine"
+	"fxa/internal/sweep"
+)
+
+// JobSpec is one job submission: a single (model, workload) simulation
+// cell, the same unit a local sweep dispatches to its worker pool.
+type JobSpec struct {
+	// Tenant attributes the job for fair scheduling and per-tenant
+	// accounting. Empty means the shared "anon" tenant.
+	Tenant string `json:"tenant,omitempty"`
+
+	// Priority orders jobs within one tenant's queue: higher runs
+	// sooner; equal priorities run in submission order. Priority never
+	// lets one tenant starve another — cross-tenant ordering is decided
+	// by weighted fairness alone.
+	Priority int `json:"priority,omitempty"`
+
+	// Model and Workload name the simulated configuration ("HALF+FX",
+	// "libquantum"). Names are resolved at submission time; unknown
+	// names are rejected with 400.
+	Model    string `json:"model"`
+	Workload string `json:"workload"`
+
+	// Warmup and MaxInsts bound the run: a functional fast-forward of
+	// Warmup instructions, then MaxInsts detailed instructions.
+	// MaxInsts must be positive (an unbounded run would occupy a worker
+	// forever).
+	Warmup   uint64 `json:"warmup,omitempty"`
+	MaxInsts uint64 `json:"max_insts"`
+
+	// IntervalInsts, when positive, streams interval metrics: one
+	// "interval" event roughly every IntervalInsts committed
+	// instructions. The final result is unaffected (collection is
+	// observation-only and the stored result never embeds the series).
+	IntervalInsts uint64 `json:"interval_insts,omitempty"`
+
+	// NoCache opts the job out of the shared result cache: it always
+	// simulates and its result is not stored.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Validate checks a spec is runnable (names are resolved separately).
+func (s *JobSpec) Validate() error {
+	if s.Model == "" || s.Workload == "" {
+		return fmt.Errorf("serve: job spec needs model and workload")
+	}
+	if s.MaxInsts == 0 {
+		return fmt.Errorf("serve: job spec needs max_insts > 0 (unbounded jobs would pin a worker forever)")
+	}
+	return nil
+}
+
+// Event kinds, in lifecycle order. A stream is: one "queued", then
+// (unless cancelled while queued) one "started", any number of
+// "interval" events, and exactly one terminal event ("result", "error"
+// or "cancelled").
+const (
+	EventQueued    = "queued"
+	EventStarted   = "started"
+	EventInterval  = "interval"
+	EventResult    = "result"
+	EventError     = "error"
+	EventCancelled = "cancelled"
+)
+
+// Event is one NDJSON line of a job's event stream.
+type Event struct {
+	Event string `json:"event"`
+	Job   string `json:"job"`
+	Seq   int    `json:"seq"` // position in the job's event log, from 0
+
+	// QueueDepth accompanies "queued": jobs ahead in the whole fabric.
+	QueueDepth int `json:"queue_depth,omitempty"`
+
+	// Interval accompanies "interval" events.
+	Interval *engine.Interval `json:"interval,omitempty"`
+
+	// Result, CacheHit and Collapsed accompany "result": the full
+	// schema-versioned engine result and how it was obtained (simulated,
+	// read from the shared cache, or shared from a concurrent identical
+	// in-flight run).
+	Result    *engine.Result `json:"result,omitempty"`
+	CacheHit  bool           `json:"cache_hit,omitempty"`
+	Collapsed bool           `json:"collapsed,omitempty"`
+
+	// Error accompanies "error" (the job's failure) and "cancelled"
+	// (the underlying run's termination error, normally just the
+	// context cancellation).
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether e ends its job's stream.
+func (e *Event) Terminal() bool {
+	switch e.Event {
+	case EventResult, EventError, EventCancelled:
+		return true
+	}
+	return false
+}
+
+// SubmitReply answers POST /v1/jobs.
+type SubmitReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // "queued"
+}
+
+// CancelReply answers DELETE /v1/jobs/{id}.
+type CancelReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // the job's state after the cancel request
+}
+
+// ErrorReply is the JSON body of every non-2xx response.
+type ErrorReply struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after,omitempty"` // seconds, on 429/503
+}
+
+// TenantStats are one tenant's cumulative counters.
+type TenantStats struct {
+	Weight    int    `json:"weight"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Ran       uint64 `json:"ran"`        // simulated (cache misses)
+	CacheHits uint64 `json:"cache_hits"` // answered from the shared cache
+	Collapsed uint64 `json:"collapsed"`  // answered from a concurrent identical run
+	Queued    int    `json:"queued"`     // currently waiting
+}
+
+// Stats answers GET /v1/stats: fabric-wide queue/cache/tenant state.
+type Stats struct {
+	Queued    int `json:"queued"`  // jobs waiting for a worker
+	Running   int `json:"running"` // jobs simulating right now
+	Workers   int `json:"workers"`
+	QueueCap  int `json:"queue_cap"`
+	JobsHeld  int `json:"jobs_held"` // job records retained for re-attach
+	UptimeSec int `json:"uptime_sec"`
+
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Ran       uint64 `json:"ran"`
+	CacheHits uint64 `json:"cache_hits"`
+	Collapsed uint64 `json:"collapsed"`
+
+	// Cache is the shared sweep.Cache's lifetime view (all tenants, and
+	// any CLI sweeps pointed at the same directory); CacheHitRate is its
+	// fraction of lookups answered from disk.
+	Cache        sweep.CacheStats `json:"cache"`
+	CacheHitRate float64          `json:"cache_hit_rate"`
+
+	Tenants map[string]TenantStats `json:"tenants"`
+}
+
+// Health answers GET /healthz.
+type Health struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Version string `json:"version"`
+	Go      string `json:"go"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+}

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"fxa/internal/engine"
 )
@@ -51,9 +53,49 @@ func Key(fingerprint any) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Cache is a content-addressed on-disk result store.
+// Cache is a content-addressed on-disk result store. One Cache may be
+// shared by any number of concurrent Run calls (and long-running daemons):
+// concurrent executions of the same key are collapsed through the flight
+// table (see flight.go), and the counters accumulate across the Cache's
+// whole lifetime, so a serving process can export cumulative hit rates.
 type Cache struct {
 	dir string
+
+	mu     sync.Mutex       // guards flight
+	flight map[string]*call // in-flight executions by key
+
+	hits      atomic.Uint64 // Get: entry present and decodable
+	misses    atomic.Uint64 // Get: absent or corrupt
+	puts      atomic.Uint64 // successful Put calls
+	collapsed atomic.Uint64 // followers served from a leader's in-flight run
+}
+
+// CacheStats are a Cache's cumulative lifetime counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`      // lookups answered from disk
+	Misses    uint64 `json:"misses"`    // lookups that found nothing usable
+	Puts      uint64 `json:"puts"`      // entries written
+	Collapsed uint64 `json:"collapsed"` // concurrent identical runs deduplicated in flight
+}
+
+// HitRate returns the fraction of lookups answered from disk (0 when no
+// lookups happened).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns the cache's cumulative counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Collapsed: c.collapsed.Load(),
+	}
 }
 
 // OpenCache opens (creating if needed) a result cache rooted at dir.
@@ -79,14 +121,17 @@ func (c *Cache) path(key string) string {
 func (c *Cache) Get(key string) (engine.Result, bool) {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
+		c.misses.Add(1)
 		return engine.Result{}, false
 	}
 	var res engine.Result
 	if err := json.Unmarshal(b, &res); err != nil {
 		// Corrupt entry: drop it and treat as a miss.
 		_ = os.Remove(c.path(key))
+		c.misses.Add(1)
 		return engine.Result{}, false
 	}
+	c.hits.Add(1)
 	return res, true
 }
 
@@ -114,6 +159,7 @@ func (c *Cache) Put(key string, res engine.Result) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
+	c.puts.Add(1)
 	return nil
 }
 

@@ -12,6 +12,7 @@ type Stats struct {
 	Ran         int           // jobs actually simulated (cache misses that succeeded)
 	CacheHits   int           // jobs answered from the result cache
 	CacheMisses int           // jobs that had to simulate (== Ran on success)
+	Collapsed   int           // jobs answered from a concurrent identical run (singleflight)
 	Errors      int           // jobs that failed (panic, error, or cancellation)
 	Workers     int           // worker-pool size used
 	SimInsts    uint64        // committed instructions across all simulated jobs
@@ -105,6 +106,9 @@ func (s Stats) String() string {
 		s.Jobs, s.Wall.Round(10*time.Millisecond), s.Workers, s.Ran, s.CacheHits)
 	if s.CacheHits != 1 {
 		line += "s"
+	}
+	if s.Collapsed > 0 {
+		line += fmt.Sprintf(", %d collapsed", s.Collapsed)
 	}
 	line += fmt.Sprintf(", %.1f Minst, %.1f Minst/s",
 		float64(s.SimInsts)/1e6, s.InstsPerSec()/1e6)

@@ -179,7 +179,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats,
 	}()
 
 	var completed atomic.Int64
-	var ran, cacheHits, cacheMisses, simInsts, simCycles atomic.Uint64
+	var ran, cacheHits, cacheMisses, collapsed, simInsts, simCycles atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -189,20 +189,24 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats,
 				job := &jobs[i]
 				events <- Event{Kind: EventStart, JobIndex: i, Label: job.Label,
 					Done: int(completed.Load()), Total: len(jobs)}
-				res, hit, err := runOne(runCtx, job, opts.Cache)
-				if err == nil && hit {
-					cacheHits.Add(1)
+				res, hit, shared, err := runOne(runCtx, job, opts.Cache)
+				if err == nil {
+					switch {
+					case hit:
+						cacheHits.Add(1)
+					case shared:
+						collapsed.Add(1)
+					default:
+						cacheMisses.Add(1)
+						ran.Add(1)
+						simInsts.Add(res.Counters.Committed)
+						simCycles.Add(res.Counters.Cycles)
+					}
 				}
-				if err == nil && !hit {
-					cacheMisses.Add(1)
-					ran.Add(1)
-					simInsts.Add(res.Counters.Committed)
-					simCycles.Add(res.Counters.Cycles)
-				}
-				results[i], hits[i], errs[i] = res, hit, err
+				results[i], hits[i], errs[i] = res, hit || shared, err
 				done := int(completed.Add(1))
 				events <- Event{Kind: EventDone, JobIndex: i, Label: job.Label,
-					Done: done, Total: len(jobs), CacheHit: hit, Err: err}
+					Done: done, Total: len(jobs), CacheHit: hit || shared, Err: err}
 				if err != nil && opts.Errors == FailFast {
 					stopOnce.Do(func() { close(stopFeed) })
 				}
@@ -216,6 +220,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats,
 	stats.Ran = int(ran.Load())
 	stats.CacheHits = int(cacheHits.Load())
 	stats.CacheMisses = int(cacheMisses.Load())
+	stats.Collapsed = int(collapsed.Load())
 	stats.SimInsts = simInsts.Load()
 	stats.SimCycles = simCycles.Load()
 	var memAfter runtime.MemStats
@@ -236,40 +241,62 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats,
 	return results, stats, nil
 }
 
-// runOne executes a single job with cache lookup and panic containment.
-func runOne(ctx context.Context, job *Job, cache *Cache) (res engine.Result, hit bool, err error) {
+// RunOne executes a single job through the engine's full execution path —
+// panic containment, cache lookup, and singleflight collapsing of
+// concurrent identical keys — without a surrounding pool. It is the unit
+// the serving layer (internal/serve) multiplexes its persistent worker
+// pool onto: every daemon job goes through the same path a sweep job
+// does, so cache identity and error semantics cannot drift between the
+// CLI and the daemon. hit reports a disk-cache answer; shared reports a
+// result taken from a concurrent leader's in-flight run (counted in
+// CacheStats.Collapsed).
+func RunOne(ctx context.Context, job Job, cache *Cache) (res engine.Result, hit, shared bool, err error) {
+	return runOne(ctx, &job, cache)
+}
+
+// runOne executes a single job with cache lookup, singleflight collapsing
+// and panic containment.
+func runOne(ctx context.Context, job *Job, cache *Cache) (res engine.Result, hit, shared bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, hit = engine.Result{}, false
+			res, hit, shared = engine.Result{}, false, false
 			err = fmt.Errorf("sweep: job %q panicked: %v\n%s", job.Label, r, debug.Stack())
 		}
 	}()
 	if err := ctx.Err(); err != nil {
-		return engine.Result{}, false, err
+		return engine.Result{}, false, false, err
 	}
-	var key string
-	if cache != nil && job.Fingerprint != nil {
-		key, err = Key(job.Fingerprint)
+	if cache == nil || job.Fingerprint == nil {
+		res, err = job.Run(ctx)
 		if err != nil {
-			return engine.Result{}, false, fmt.Errorf("sweep: job %q fingerprint: %w", job.Label, err)
+			return engine.Result{}, false, false, err
 		}
-		if res, ok := cache.Get(key); ok {
-			return res, true, nil
-		}
+		return res, false, false, nil
 	}
-	res, err = job.Run(ctx)
+	key, err := Key(job.Fingerprint)
 	if err != nil {
-		return engine.Result{}, false, err
+		return engine.Result{}, false, false, fmt.Errorf("sweep: job %q fingerprint: %w", job.Label, err)
 	}
-	if key != "" {
-		if perr := cache.Put(key, res); perr != nil {
+	return cache.runShared(ctx, key, func() (r engine.Result, rerr error) {
+		// Contain panics here (not only in runShared's generic backstop)
+		// so the error followers observe names the job that blew up.
+		defer func() {
+			if p := recover(); p != nil {
+				r, rerr = engine.Result{}, fmt.Errorf("sweep: job %q panicked: %v\n%s", job.Label, p, debug.Stack())
+			}
+		}()
+		r, rerr = job.Run(ctx)
+		if rerr != nil {
+			return engine.Result{}, rerr
+		}
+		if perr := cache.Put(key, r); perr != nil {
 			// A cache write failure degrades performance, not
 			// correctness; surface it as a job error only if the
 			// caller asked for strict caching.
-			return res, false, fmt.Errorf("sweep: job %q cache write: %w", job.Label, perr)
+			return r, fmt.Errorf("sweep: job %q cache write: %w", job.Label, perr)
 		}
-	}
-	return res, false, nil
+		return r, nil
+	})
 }
 
 // resolveErrors turns the per-job error slice into the engine's return
