@@ -23,6 +23,13 @@
 #   make fuzz    run of the core's random-flush fuzzer (FUZZTIME=30s)
 #   make serve-smoke  end-to-end smoke of the fxad daemon over real
 #                HTTP: build, serve, submit, stream, cache-hit, SIGTERM
+#   make sampling-validate  the sampling differential-validation suite
+#                under -race (CI coverage vs full-detailed truth,
+#                warm-up efficacy, observation-only warm-up marks,
+#                worker-count determinism, cancellation promptness;
+#                DESIGN.md §8.7). Also runs inside tier1 via `race`.
+#   make sampling-long  the nightly 100M-instruction paper-parity
+#                sampled run (EXPERIMENTS.md records its error bars)
 
 GO ?= go
 
@@ -53,7 +60,7 @@ STATICCHECK ?= staticcheck
 
 .PHONY: tier1 check build vet test race race-full lint fmt-check \
 	bench bench-emu bench-figures bench-gate bench-gate-full \
-	bench-gate-update fuzz serve-smoke
+	bench-gate-update fuzz serve-smoke sampling-validate sampling-long
 
 tier1: build vet test race
 
@@ -131,6 +138,24 @@ bench-gate-update:
 # always runs as part of `make test` via TestFuzzRandomFlush).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRandomFlush -fuzztime $(FUZZTIME) ./internal/core
+
+# The sampling differential-validation suite (DESIGN.md §8.7) under the
+# race detector: sampled CIs must cover full-detailed truth for every
+# registered core kind, warm-up must monotonically shrink the cold-start
+# gap, the warm-up mark must be observation-only, and the Summary must
+# be bit-identical for any worker count. tier1 already runs the whole
+# package under -race (RACE_PKGS); this named target is the direct
+# handle for iterating on the suite.
+sampling-validate:
+	$(GO) test -race -run 'TestSampledCICoversDetailedRun|TestWarmup|TestSampling|TestSummaryDeterministicForAnyWorkers' ./internal/sampling
+
+# The nightly 100M-instruction paper-parity sampled run: ten 1M-inst
+# windows, each after an 8.9M skip and a 100k detailed warm-up — the
+# paper's Section VI-A skip-then-measure methodology as a systematic
+# schedule. Gated on the 95% CI half-width staying within 10% of the
+# IPC estimate; EXPERIMENTS.md records the measured error bars.
+sampling-long:
+	FXA_SAMPLING_LONG=1 $(GO) test -v -run TestPaperParitySampledRun -timeout 30m ./internal/sampling
 
 # End-to-end smoke of the built fxad binary: start it, walk a job
 # through the HTTP API with curl, prove a resubmission hits the shared

@@ -11,6 +11,8 @@
 //	         [-cpuprofile file] [-memprofile file]
 //	fxabench -intervals N [-workload W] [-model M] [-n insts] [-warmup insts]
 //	         [-format text|csv|json]
+//	fxabench -sample intervals:window:skip[:warmup] [-workload W] [-model M]
+//	         [-ci 0.95] [-j workers] [-format text|csv|markdown|json]
 //	fxabench -perfgate [-update-baseline] [-threshold 1.10] [-count 5]
 //	         [-suite all|core|emu|sampling] [-baselinedir .]
 //	         [-benchout file] [-benchtime d] [-format text|csv|markdown]
@@ -35,6 +37,22 @@
 // instructions. The interval counter deltas partition the run exactly —
 // the text rendering's totals line reconciles them against the final
 // counters, and -format json emits the full schema-versioned Result.
+//
+// With -sample, fxabench runs one workload on one model with SMARTS-style
+// systematic sampling (internal/sampling, DESIGN.md §8.7) instead of one
+// long detailed run. The schedule is a colon-separated
+// intervals:window:skip[:warmup] tuple — number of detailed windows,
+// measured instructions per window, functional fast-forward before each
+// window, and an optional detailed-warm-up prefix per window that
+// simulates in full detail but is excluded from measurement. Counts
+// accept decimal k/M/G suffixes, including fractional ones that resolve
+// to whole instructions ("-sample 10:1M:8.9M:100k" is ten 1M-instruction
+// windows, each after an 8.9M skip and a 100k warm-up — the paper's
+// skip-then-measure methodology at 100M total span). The output is a
+// per-metric table of estimate ± Student-t confidence
+// interval (IPC, branch MPKI, energy/inst) at the -ci level, with the
+// analytic bottleneck IPC cross-check in the footer; -format json emits
+// the full schema-versioned sampling Summary.
 //
 // With -warmup, the main sweep fast-forwards each (workload, model) cell
 // functionally (emulator only, no timing) before its detailed window — the
@@ -82,10 +100,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"fxa"
@@ -137,8 +157,10 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	intervals := flag.Uint64("intervals", 0, "single-run mode: collect interval metrics every N committed instructions (requires -workload/-model)")
-	workloadName := flag.String("workload", "libquantum", "workload for -intervals mode")
-	modelName := flag.String("model", "HALF+FX", "processor model for -intervals mode")
+	sampleSpec := flag.String("sample", "", "sampled-run mode: intervals:window:skip[:warmup] schedule (k/M/G suffixes; uses -workload/-model)")
+	ciLevel := flag.Float64("ci", 0.95, "two-sided confidence level for -sample's intervals, in (0,1)")
+	workloadName := flag.String("workload", "libquantum", "workload for -intervals/-sample mode")
+	modelName := flag.String("model", "HALF+FX", "processor model for -intervals/-sample mode")
 	gateMode := flag.Bool("perfgate", false, "performance-regression gate mode: run the benchmark suites and compare against the checked-in baselines")
 	gateUpdate := flag.Bool("update-baseline", false, "perfgate: re-record the baselines instead of gating")
 	gateThreshold := flag.Float64("threshold", 1.10, "perfgate: practical regression threshold as a worseness ratio, in (1, 10]")
@@ -152,17 +174,26 @@ func main() {
 	if !contains(validExperiments, *exp) {
 		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(validExperiments, ", ")))
 	}
-	if !contains(validFormats, *format) && !(*format == "json" && *intervals > 0) {
-		fatal(fmt.Errorf("unknown format %q (valid: %s; json with -intervals)", *format, strings.Join(validFormats, ", ")))
+	if !contains(validFormats, *format) && !(*format == "json" && (*intervals > 0 || *sampleSpec != "")) {
+		fatal(fmt.Errorf("unknown format %q (valid: %s; json with -intervals or -sample)", *format, strings.Join(validFormats, ", ")))
+	}
+	if *sampleSpec != "" && *intervals > 0 {
+		fatal(fmt.Errorf("-sample and -intervals are distinct single-run modes; pick one"))
+	}
+	if *ciLevel <= 0 || *ciLevel >= 1 {
+		fatal(fmt.Errorf("-ci %v out of range: confidence level must be in (0,1)", *ciLevel))
 	}
 	if *tenant != "" && *serveURL == "" {
 		fatal(fmt.Errorf("-tenant requires -serve-url"))
 	}
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["ci"] && *sampleSpec == "" {
+		fatal(fmt.Errorf("-ci requires -sample"))
+	}
 	if !*gateMode {
 		// The perfgate knobs mean nothing outside -perfgate; reject
 		// them instead of silently ignoring a mistyped gate run.
-		set := make(map[string]bool)
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		for _, name := range []string{"update-baseline", "threshold", "count", "suite", "baselinedir", "benchout", "benchtime"} {
 			if set[name] {
 				fatal(fmt.Errorf("-%s requires -perfgate", name))
@@ -236,6 +267,19 @@ func main() {
 
 	if *intervals > 0 {
 		if err := runIntervals(*modelName, *workloadName, *n, *warmup, *intervals, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *sampleSpec != "" {
+		cfg, err := parseSampleSpec(*sampleSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.CILevel = *ciLevel
+		cfg.Workers = *workers
+		if err := runSample(*modelName, *workloadName, cfg, *format, *quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -466,6 +510,118 @@ func fatal(err error) {
 	runExitHooks()
 	fmt.Fprintln(os.Stderr, "fxabench:", err)
 	os.Exit(1)
+}
+
+// parseSampleSpec parses the -sample schedule: a colon-separated
+// intervals:window:skip[:warmup] tuple of instruction counts.
+func parseSampleSpec(s string) (fxa.SamplingConfig, error) {
+	var cfg fxa.SamplingConfig
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return cfg, fmt.Errorf("-sample wants intervals:window:skip[:warmup], got %q", s)
+	}
+	field := func(name, v string) (uint64, error) {
+		n, err := parseInsts(v)
+		if err != nil {
+			return 0, fmt.Errorf("-sample %s %q: %w", name, v, err)
+		}
+		return n, nil
+	}
+	iv, err := field("intervals", parts[0])
+	if err != nil {
+		return cfg, err
+	}
+	if iv == 0 || iv > 1<<30 {
+		return cfg, fmt.Errorf("-sample intervals %q out of range", parts[0])
+	}
+	cfg.Intervals = int(iv)
+	if cfg.IntervalInsts, err = field("window", parts[1]); err != nil {
+		return cfg, err
+	}
+	if cfg.IntervalInsts == 0 {
+		return cfg, fmt.Errorf("-sample window must be positive")
+	}
+	if cfg.SkipInsts, err = field("skip", parts[2]); err != nil {
+		return cfg, err
+	}
+	if len(parts) == 4 {
+		if cfg.WarmupInsts, err = field("warmup", parts[3]); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// parseInsts parses an instruction count with an optional decimal k/M/G
+// suffix. Fractional values are accepted when they resolve to a whole
+// instruction count ("7.9M" = 7_900_000), so paper-style schedules read
+// naturally on the command line.
+func parseInsts(s string) (uint64, error) {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult, s = 1_000, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1_000_000, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1_000_000_000, s[:len(s)-1]
+	}
+	if mult > 1 && strings.Contains(s, ".") {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f < 0 {
+			return 0, fmt.Errorf("not a count")
+		}
+		v := f * float64(mult)
+		if v != math.Trunc(v) || v > float64(1<<62) {
+			return 0, fmt.Errorf("fractional count must resolve to whole instructions")
+		}
+		return uint64(v), nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a count")
+	}
+	if mult > 1 && v > math.MaxUint64/mult {
+		return 0, fmt.Errorf("count overflows")
+	}
+	return v * mult, nil
+}
+
+// runSample is the single-run -sample mode: sample one workload on one
+// model per the parsed schedule and emit the per-metric estimate±CI table
+// (internal/report), or the full schema-versioned Summary with -format
+// json. The stderr summary line reports the run economics — detailed
+// versus fast-forwarded volume — since fast-forward dominates sampled
+// wall clock.
+func runSample(modelName, workloadName string, cfg fxa.SamplingConfig, format string, quiet bool) error {
+	m, err := fxa.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	w, err := fxa.WorkloadByName(workloadName)
+	if err != nil {
+		return err
+	}
+	sum, err := fxa.SampleContext(context.Background(), m, w, cfg)
+	if err != nil {
+		return fmt.Errorf("sampling %s on %s: %w", w.Name, m.Name, err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "sampled run: %s\n", sum.Sweep)
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&sum)
+	case "csv":
+		report.SamplingCSV(os.Stdout, &sum)
+	case "markdown":
+		report.SamplingMarkdown(os.Stdout, &sum)
+	default:
+		report.Sampling(os.Stdout, &sum)
+	}
+	return nil
 }
 
 // runIntervals is the single-run -intervals mode: simulate one workload

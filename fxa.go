@@ -211,20 +211,28 @@ func RunWarm(m Model, w Workload, warmup, maxInsts uint64) (Result, error) {
 	return res, nil
 }
 
-// SamplingConfig describes a periodic-sampling schedule (see
+// SamplingConfig describes a systematic-sampling schedule — windows,
+// window length, skip, detailed warm-up and confidence level (see
 // internal/sampling).
 type SamplingConfig = sampling.Config
 
-// SamplingSummary aggregates a sampled simulation with per-interval
-// confidence statistics.
+// SamplingSummary aggregates a sampled simulation: per-window results and
+// Student-t confidence intervals on IPC, branch MPKI and energy per
+// instruction over the measured (warm-excluded) windows.
 type SamplingSummary = sampling.Summary
 
-// Sample estimates w's behaviour on m with periodic interval sampling:
-// detailed windows separated by functional fast-forwards, far cheaper than
-// one long detailed run, with a per-interval spread as a confidence
+// Sample estimates w's behaviour on m with systematic sampling: detailed
+// windows separated by functional fast-forwards, far cheaper than one
+// long detailed run, with per-metric confidence intervals as the accuracy
 // signal.
 func Sample(m Model, w Workload, cfg SamplingConfig) (SamplingSummary, error) {
-	return sampling.Run(m, w, cfg)
+	return SampleContext(context.Background(), m, w, cfg)
+}
+
+// SampleContext is Sample under a context: cancelling ctx interrupts both
+// the functional fast-forward and the in-flight detailed windows promptly.
+func SampleContext(ctx context.Context, m Model, w Workload, cfg SamplingConfig) (SamplingSummary, error) {
+	return sampling.Run(ctx, m, w, cfg)
 }
 
 // RunTrace simulates an arbitrary dynamic instruction stream on model m.

@@ -169,6 +169,24 @@ type Options struct {
 	// instructions). 0 disables collection.
 	IntervalInsts uint64
 
+	// WarmupInsts is the measure-after-N-instructions mark: when
+	// positive, Drive cuts the counter state at the first observation
+	// with at least WarmupInsts committed instructions and attaches the
+	// prefix to the returned Result as Result.Warmup, so callers can
+	// exclude detailed-warm-up work (cold caches, cold predictors) from
+	// measurement. The cut is observation-only — it reuses the interval
+	// machinery's snapshot-and-delta path and never touches the engine,
+	// so the simulation itself (and the final cumulative counters) is
+	// bit-identical with the mark on or off, for any mark position.
+	//
+	// Near the mark Drive shrinks its Step slices geometrically down to
+	// single cycles, so the cut lands within one commit-width of the
+	// requested instruction count. If the run finishes (or is shorter
+	// than the mark), the warm-up prefix is cut against the final state
+	// and the measured remainder is empty — callers validating sampling
+	// schedules should keep the mark strictly inside the run.
+	WarmupInsts uint64
+
 	// CheckEvery is the Step slice in cycles between cancellation and
 	// interval checks. <= 0 means DefaultCheckEvery.
 	CheckEvery int64
@@ -199,14 +217,25 @@ func Drive(ctx context.Context, e Engine, opts Options) (Result, error) {
 		col = newIntervalCollector(e, opts.IntervalInsts)
 		col.on = opts.OnInterval
 	}
+	var warm *warmupCollector
+	if opts.WarmupInsts > 0 {
+		warm = newWarmupCollector(e, opts.WarmupInsts)
+	}
 	done := ctx.Done()
 	for {
-		finished, err := e.Step(check)
+		slice := check
+		if warm != nil && !warm.cut {
+			slice = warm.slice(check)
+		}
+		finished, err := e.Step(slice)
 		if err != nil {
 			return Result{}, err
 		}
 		if finished {
 			break
+		}
+		if warm != nil && !warm.cut {
+			warm.observe(e)
 		}
 		if col != nil {
 			col.observe(e)
@@ -231,6 +260,9 @@ func Drive(ctx context.Context, e Engine, opts Options) (Result, error) {
 	res := e.Result()
 	if col != nil {
 		res.Intervals = col.finish(e, &res)
+	}
+	if warm != nil {
+		res.Warmup = warm.finish(e, &res)
 	}
 	return res, nil
 }

@@ -114,6 +114,92 @@ func TestDriveIntervalSeriesPartitionsRun(t *testing.T) {
 	}
 }
 
+func TestDriveWarmupMarkCutsPrefix(t *testing.T) {
+	e := &fakeEngine{total: 50_000, rob: 9, iq: 3}
+	res, err := Drive(context.Background(), e, Options{WarmupInsts: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warmup == nil {
+		t.Fatal("no warm-up prefix attached")
+	}
+	// The fake commits one instruction per cycle, so the geometric
+	// slice-shrink must land the cut exactly on the mark.
+	if res.Warmup.Counters.Committed != 1234 {
+		t.Errorf("warm-up committed %d, want exactly 1234", res.Warmup.Counters.Committed)
+	}
+	if res.Warmup.ROBOcc != 9 || res.Warmup.IQOcc != 3 {
+		t.Errorf("warm-up occupancy (%d, %d), want (9, 3)", res.Warmup.ROBOcc, res.Warmup.IQOcc)
+	}
+	// The mark is observation-only: cumulative counters are unaffected.
+	if res.Counters.Committed != 50_000 {
+		t.Errorf("committed %d, want 50000", res.Counters.Committed)
+	}
+	// Warm-up prefix plus measured remainder reproduce the whole run.
+	meas := res.WarmExcluded()
+	if got := meas.Counters.Committed + res.Warmup.Counters.Committed; got != res.Counters.Committed {
+		t.Errorf("warmup %d + measured %d != total %d",
+			res.Warmup.Counters.Committed, meas.Counters.Committed, res.Counters.Committed)
+	}
+	if meas.Warmup != nil {
+		t.Error("WarmExcluded result still carries a warm-up prefix")
+	}
+}
+
+func TestDriveWarmupMarkPastRunEnd(t *testing.T) {
+	e := &fakeEngine{total: 700}
+	res, err := Drive(context.Background(), e, Options{WarmupInsts: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warmup == nil {
+		t.Fatal("no warm-up prefix attached")
+	}
+	// The run ended before the mark: the whole run is warm-up and the
+	// measured remainder is empty.
+	if res.Warmup.Counters.Committed != 700 {
+		t.Errorf("warm-up committed %d, want the whole 700-inst run", res.Warmup.Counters.Committed)
+	}
+	if meas := res.WarmExcluded(); meas.Counters.Committed != 0 || meas.Counters.Cycles != 0 {
+		t.Errorf("measured remainder not empty: %d insts, %d cycles",
+			meas.Counters.Committed, meas.Counters.Cycles)
+	}
+}
+
+func TestDriveWarmupWithIntervals(t *testing.T) {
+	// Warm-up and interval collection are orthogonal observers: the
+	// interval series still partitions the whole run.
+	e := &fakeEngine{total: 40_000}
+	res, err := Drive(context.Background(), e, Options{WarmupInsts: 3_000, IntervalInsts: 10_000, CheckEvery: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warmup == nil || res.Warmup.Counters.Committed != 3_000 {
+		t.Fatalf("warm-up prefix %+v, want a 3000-inst cut", res.Warmup)
+	}
+	var insts uint64
+	for _, iv := range res.Intervals {
+		insts += iv.Counters.Committed
+	}
+	if insts != res.Counters.Committed {
+		t.Fatalf("interval sums %d != run total %d with warm-up enabled", insts, res.Counters.Committed)
+	}
+}
+
+func TestWarmExcludedWithoutMark(t *testing.T) {
+	e := &fakeEngine{total: 100}
+	res, err := Drive(context.Background(), e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warmup != nil {
+		t.Fatal("warm-up attached without being requested")
+	}
+	if meas := res.WarmExcluded(); meas.Counters != res.Counters {
+		t.Error("WarmExcluded changed an unmarked result")
+	}
+}
+
 func TestRegistryRejectsUnknownKind(t *testing.T) {
 	// The engine package itself registers nothing; an unregistered kind
 	// must produce a descriptive error, not a panic.

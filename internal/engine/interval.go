@@ -46,6 +46,76 @@ func (c *intervalCollector) finish(e Engine, final *Result) []Interval {
 	return c.ivs
 }
 
+// warmupCollector implements Options.WarmupInsts, the measure-after-N
+// mark: it rides the same observe-between-Step-slices rhythm as the
+// interval collector and cuts exactly one prefix interval — the counters
+// accumulated before the mark — which Drive attaches as Result.Warmup.
+// Like interval collection it is observation-only: the engine is never
+// touched, so the simulation is bit-identical with the mark on or off.
+//
+// To land the cut close to the requested instruction count (Step slices
+// are in cycles, commit volume per cycle is the engine's business), the
+// collector shrinks Drive's slices geometrically as the mark approaches:
+// slice = clamp(remaining/16, 1, CheckEvery) cycles. Even at the maximum
+// commit width the final single-cycle steps overshoot by less than one
+// commit group.
+type warmupCollector struct {
+	mark  uint64 // committed-instruction position of the cut
+	start Result // snapshot at the start of the run
+	last  uint64 // committed count at the latest observation
+	warm  Interval
+	cut   bool
+}
+
+func newWarmupCollector(e Engine, mark uint64) *warmupCollector {
+	c := &warmupCollector{mark: mark, start: e.Result()}
+	c.last = c.start.Counters.Committed
+	return c
+}
+
+// slice bounds the next Step slice so the mark is approached
+// geometrically instead of jumped over by a whole CheckEvery slice.
+func (c *warmupCollector) slice(check int64) int64 {
+	remaining := c.mark - c.last // caller guarantees !c.cut, so last < mark
+	s := int64(remaining / 16)
+	if s < 1 {
+		return 1
+	}
+	if s > check {
+		return check
+	}
+	return s
+}
+
+// observe snapshots the engine and cuts the warm-up prefix once the
+// committed count reaches the mark.
+func (c *warmupCollector) observe(e Engine) {
+	cur := e.Result()
+	c.last = cur.Counters.Committed
+	if c.last < c.mark {
+		return
+	}
+	c.warm = delta(&c.start, &cur)
+	if occ, ok := e.(OccupancyReporter); ok {
+		c.warm.ROBOcc, c.warm.IQOcc = occ.Occupancy()
+	}
+	c.cut = true
+}
+
+// finish returns the warm-up prefix, cutting it against the final result
+// when the run ended before the mark was reached (the whole run is then
+// warm-up and the measured remainder is empty).
+func (c *warmupCollector) finish(e Engine, final *Result) *Interval {
+	if !c.cut {
+		c.warm = delta(&c.start, final)
+		if occ, ok := e.(OccupancyReporter); ok {
+			c.warm.ROBOcc, c.warm.IQOcc = occ.Occupancy()
+		}
+	}
+	w := c.warm
+	return &w
+}
+
 func (c *intervalCollector) cut(e Engine, cur *Result) {
 	iv := delta(&c.prev, cur)
 	iv.Index = len(c.ivs)

@@ -38,6 +38,38 @@ type Result struct {
 	// partition the run exactly: summing every interval's Counters
 	// reproduces the final Counters (test-enforced).
 	Intervals []Interval `json:"intervals,omitempty"`
+
+	// Warmup is the detailed-warm-up prefix of the run — the counter and
+	// cache deltas accumulated before the Options.WarmupInsts mark — so
+	// measurement can exclude cold-start work (WarmExcluded). Nil unless
+	// the run was driven with a warm-up mark. The field is an optional
+	// schema-v2 extension: absent it serializes to exactly the v2 bytes,
+	// so pre-existing goldens and cached results remain bit-identical
+	// (warm-up-marked runs are never cached — the mark is part of the
+	// observation, not the simulation).
+	Warmup *Interval `json:"warmup,omitempty"`
+}
+
+// WarmExcluded returns the measured view of the run: the cumulative
+// result minus the detailed-warm-up prefix (Warmup). Counters, cache
+// stats and DRAM accesses are subtracted; the branch-predictor and
+// store-set summaries remain whole-run (their stats are not deltas and
+// carry no energy weight), and the interval series is dropped — it
+// partitions the whole run, not the measured suffix. With no warm-up
+// mark the result is returned unchanged.
+func (r *Result) WarmExcluded() Result {
+	out := *r
+	if r.Warmup == nil {
+		return out
+	}
+	out.Counters.Sub(&r.Warmup.Counters)
+	out.L1I = r.L1I.Sub(r.Warmup.L1I)
+	out.L1D = r.L1D.Sub(r.Warmup.L1D)
+	out.L2 = r.L2.Sub(r.Warmup.L2)
+	out.DRAM = r.DRAM - r.Warmup.DRAM
+	out.Intervals = nil
+	out.Warmup = nil
+	return out
 }
 
 // Interval is one slice of a run's interval-metrics series. Counter and

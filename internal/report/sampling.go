@@ -1,0 +1,80 @@
+package report
+
+// Sampled-run rendering: the per-metric estimate ± confidence-interval
+// view of one SMARTS-style sampled simulation (internal/sampling).
+// Consumed by cmd/fxabench -sample.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"fxa/internal/sampling"
+	"fxa/internal/stats"
+)
+
+// samplingHeaders is the column set shared by the text, CSV and markdown
+// sampled-run renderings.
+var samplingHeaders = []string{
+	"metric", "estimate", "±half", "ci_lo", "ci_hi", "rel_half", "n",
+}
+
+// samplingRow formats one metric's estimate into the shared column set.
+// Precision varies per metric (IPC wants more decimals than MPKI), so the
+// caller passes it in.
+func samplingRow(t *Table, name string, prec int, e stats.Estimate) {
+	rel := "-"
+	if r := e.RelHalf(); !math.IsNaN(r) {
+		rel = fmt.Sprintf("%.1f%%", 100*r)
+	}
+	t.AddRow(name,
+		fmt.Sprintf("%.*f", prec, e.Mean),
+		fmt.Sprintf("%.*f", prec, e.Half),
+		fmt.Sprintf("%.*f", prec, e.Lo()),
+		fmt.Sprintf("%.*f", prec, e.Hi()),
+		rel,
+		fmt.Sprintf("%d", e.N),
+	)
+}
+
+// samplingTable builds the estimate±CI table for one sampled run. The
+// footer carries the context a reader needs to judge the intervals: the
+// schedule, the measured volume, the per-window IPC spread (CoV) and the
+// analytic bottleneck cross-check.
+func samplingTable(sum *sampling.Summary) *Table {
+	cfg := sum.Config
+	t := &Table{
+		Title: fmt.Sprintf("sampled metrics — %s/%s (%d windows, %.0f%% CI)",
+			sum.Workload, sum.Model, len(sum.PerInterval), 100*sum.IPC.Level),
+		Headers: samplingHeaders,
+	}
+	samplingRow(t, "ipc", 4, sum.IPC)
+	samplingRow(t, "br_mpki", 2, sum.BranchMPKI)
+	samplingRow(t, "energy/inst", 2, sum.EnergyPerInst)
+
+	cov := "-"
+	if c := sum.CoV(); !math.IsNaN(c) {
+		cov = fmt.Sprintf("%.1f%%", 100*c)
+	}
+	t.Footer = []string{
+		fmt.Sprintf("schedule: %d windows × %d insts, skip %d, warm-up %d (excluded from measurement)",
+			cfg.Intervals, cfg.IntervalInsts, cfg.SkipInsts, cfg.WarmupInsts),
+		fmt.Sprintf("measured: %d insts in %d cycles; fast-forwarded %d insts in %s",
+			sum.Aggregate.Committed, sum.Aggregate.Cycles, sum.FFInsts(), sum.FFWall().Round(time.Millisecond)),
+		fmt.Sprintf("per-window IPC CoV %s; analytic bottleneck IPC %.3f (coarse cross-check, not a CI)",
+			cov, sum.AnalyticIPC),
+	}
+	return t
+}
+
+// Sampling renders the sampled run as an aligned text table.
+func Sampling(w io.Writer, sum *sampling.Summary) { samplingTable(sum).Render(w) }
+
+// SamplingCSV renders the sampled run's metric table as CSV (data rows
+// only — the footer context stays out of the data stream).
+func SamplingCSV(w io.Writer, sum *sampling.Summary) { samplingTable(sum).CSV(w) }
+
+// SamplingMarkdown renders the sampled run as a markdown table with the
+// footer context as trailing notes.
+func SamplingMarkdown(w io.Writer, sum *sampling.Summary) { samplingTable(sum).Markdown(w) }

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fxa/internal/sampling"
+	"fxa/internal/stats"
+	"fxa/internal/sweep"
+)
+
+// sampleSummary builds a representative sampled-run summary without
+// running a simulation.
+func sampleSummary() *sampling.Summary {
+	sum := &sampling.Summary{
+		SchemaVersion: sampling.SummarySchemaVersion,
+		Model:         "HALF+FX",
+		Workload:      "hmmer",
+		Config: sampling.Config{
+			Intervals:     6,
+			IntervalInsts: 8000,
+			SkipInsts:     12000,
+			WarmupInsts:   2000,
+			CILevel:       0.95,
+		},
+		MeanIPC:       1.52,
+		IPCStdDev:     0.03,
+		IPC:           stats.Estimate{Mean: 1.52, Half: 0.031, N: 6, Level: 0.95},
+		BranchMPKI:    stats.Estimate{Mean: 4.2, Half: 0.9, N: 6, Level: 0.95},
+		EnergyPerInst: stats.Estimate{Mean: 8.1, Half: 0.2, N: 6, Level: 0.95},
+		AnalyticIPC:   1.31,
+		Sweep:         sweep.Stats{FFInsts: 132000, FFTime: 3 * time.Millisecond},
+	}
+	sum.Aggregate.Committed = 48000
+	sum.Aggregate.Cycles = 31500
+	return sum
+}
+
+func TestSamplingRender(t *testing.T) {
+	var b strings.Builder
+	Sampling(&b, sampleSummary())
+	out := b.String()
+	for _, want := range []string{
+		"hmmer/HALF+FX", "6 windows", "95% CI",
+		"ipc", "1.5200", "0.0310", "1.4890", "1.5510", "2.0%",
+		"br_mpki", "energy/inst",
+		"skip 12000", "warm-up 2000",
+		"48000 insts", "132000 insts",
+		"analytic bottleneck IPC 1.310",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sampling table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSamplingRenderNoData(t *testing.T) {
+	// A summary with no measured samples (all windows halted inside their
+	// warm-up) must render "-" placeholders, never NaN.
+	sum := &sampling.Summary{Model: "LITTLE", Workload: "mcf"}
+	var b strings.Builder
+	Sampling(&b, sum)
+	out := b.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("degenerate summary rendered NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "CoV -") {
+		t.Errorf("degenerate summary should render CoV as '-':\n%s", out)
+	}
+}
+
+func TestSamplingExportFormats(t *testing.T) {
+	sum := sampleSummary()
+	var csv, md strings.Builder
+	SamplingCSV(&csv, sum)
+	SamplingMarkdown(&md, sum)
+	if !strings.HasPrefix(csv.String(), "metric,estimate,") {
+		t.Errorf("csv header wrong:\n%s", csv.String())
+	}
+	if strings.Contains(csv.String(), "schedule:") {
+		t.Error("csv must stay pure data (no footer lines)")
+	}
+	for _, want := range []string{"| metric |", "| ipc |", "_schedule:"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+}

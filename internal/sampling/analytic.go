@@ -1,0 +1,95 @@
+package sampling
+
+import (
+	"fxa/internal/config"
+	"fxa/internal/isa"
+	"fxa/internal/stats"
+)
+
+// AnalyticIPC is a first-order bottleneck estimate of IPC in the spirit of
+// Carroll & Lin's queuing model for FU and issue-queue configuration: the
+// measured instruction mix and event counts parameterize an analytic
+// service model of the core, instead of replaying the program. The CPI is
+// decomposed as
+//
+//	CPI = max(structural bounds) + branch drag + memory drag
+//
+// where the structural bounds are the pipeline width (1/min(issue,
+// commit)) and, per FU class, the class's demand divided by its server
+// count (utilization-limited throughput); branch drag is the measured
+// misprediction penalty amortized per instruction; and memory drag is the
+// DRAM latency exposed per instruction after memory-level parallelism
+// (bounded by the MSHRs for out-of-order cores, none for in-order).
+//
+// On an FXA core the IXU is extra integer capacity in front of the OXU:
+// its executed instructions (Counters.IXUExec) are subtracted from the
+// integer-FU demand and bounded separately by the IXU's own FU count.
+//
+// This is a sanity cross-check for the sampled estimate, not a simulator:
+// it ignores dependence chains, partial overlap and queueing delay, so
+// expect it within tens of percent of the measured IPC — close enough to
+// flag a badly biased sampling schedule, never a substitute for the
+// confidence interval it is printed beside.
+func AnalyticIPC(m config.Model, c *stats.Counters, dramAccesses uint64) float64 {
+	insts := float64(c.Committed)
+	if insts == 0 {
+		return 0
+	}
+	classInsts := func(classes ...isa.Class) float64 {
+		var n uint64
+		for _, cl := range classes {
+			n += c.CommittedByClass[cl]
+		}
+		return float64(n)
+	}
+
+	// Structural bounds: pipeline width and per-FU-class utilization.
+	width := m.IssueWidth
+	if m.CommitWidth < width {
+		width = m.CommitWidth
+	}
+	cpi := 1 / float64(width)
+	bound := func(demand float64, servers int) {
+		if demand <= 0 || servers <= 0 {
+			return
+		}
+		if b := demand / insts / float64(servers); b > cpi {
+			cpi = b
+		}
+	}
+	// Integer work (ALU, multiply, divide, branches resolve on int
+	// ALUs); on FXA the IXU-executed share never reaches the OXU FUs.
+	intDemand := classInsts(isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv,
+		isa.ClassBranch, isa.ClassJump)
+	if m.FX {
+		ixuDemand := float64(c.IXUExec)
+		if ixuDemand > intDemand {
+			ixuDemand = intDemand
+		}
+		bound(ixuDemand, m.IXU.TotalFUs())
+		intDemand -= ixuDemand
+	}
+	bound(intDemand, m.IntFUs)
+	bound(classInsts(isa.ClassLoad, isa.ClassStore), m.MemFUs)
+	bound(classInsts(isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv), m.FPFUs)
+
+	// Branch drag: the measured squash penalty, amortized.
+	cpi += float64(c.MispredPenaltyCycles) / insts
+
+	// Memory drag: exposed DRAM latency per instruction. Out-of-order
+	// cores overlap misses up to their MSHR count (0 means unlimited —
+	// treat as the LQ depth, the next structural limit on outstanding
+	// loads); the in-order core exposes misses serially.
+	mlp := 1.0
+	if m.Kind == config.OutOfOrder {
+		switch {
+		case m.MSHRs > 0:
+			mlp = float64(m.MSHRs)
+		case m.LQEntries > 0:
+			mlp = float64(m.LQEntries)
+		}
+	}
+	cpi += float64(dramAccesses) * float64(m.Mem.DRAMLatency) / insts / mlp
+
+	return 1 / cpi
+}

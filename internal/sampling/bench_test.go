@@ -8,6 +8,7 @@ package sampling
 // instructions by the sampling ratio.
 
 import (
+	"context"
 	"testing"
 
 	"fxa/internal/config"
@@ -23,7 +24,7 @@ func BenchmarkSamplingEndToEnd(b *testing.B) {
 	b.ReportAllocs()
 	var last Summary
 	for i := 0; i < b.N; i++ {
-		sum, err := Run(config.HalfFX(), w, cfg)
+		sum, err := Run(context.Background(), config.HalfFX(), w, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

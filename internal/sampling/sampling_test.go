@@ -27,7 +27,7 @@ func TestSampledEstimateMatchesLongRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Sampled: 5 windows of 20k spaced by 15k skips (~35% detail).
-	sum, err := Run(config.HalfFX(), w, Config{Intervals: 5, IntervalInsts: 20_000, SkipInsts: 15_000})
+	sum, err := Run(context.Background(), config.HalfFX(), w, Config{Intervals: 5, IntervalInsts: 20_000, SkipInsts: 15_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestSampledEstimateMatchesLongRun(t *testing.T) {
 
 func TestSamplingAdvancesArchitecturalState(t *testing.T) {
 	w, _ := workload.ByName("libquantum")
-	sum, err := Run(config.Big(), w, Config{Intervals: 3, IntervalInsts: 5_000, SkipInsts: 50_000})
+	sum, err := Run(context.Background(), config.Big(), w, Config{Intervals: 3, IntervalInsts: 5_000, SkipInsts: 50_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestSamplingAdvancesArchitecturalState(t *testing.T) {
 
 func TestSamplingOnInOrderCore(t *testing.T) {
 	w, _ := workload.ByName("gcc")
-	sum, err := Run(config.Little(), w, Config{Intervals: 2, IntervalInsts: 10_000})
+	sum, err := Run(context.Background(), config.Little(), w, Config{Intervals: 2, IntervalInsts: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +70,10 @@ func TestSamplingOnInOrderCore(t *testing.T) {
 
 func TestSamplingValidation(t *testing.T) {
 	w, _ := workload.ByName("gcc")
-	if _, err := Run(config.Big(), w, Config{Intervals: 0, IntervalInsts: 100}); err == nil {
+	if _, err := Run(context.Background(), config.Big(), w, Config{Intervals: 0, IntervalInsts: 100}); err == nil {
 		t.Error("zero intervals must be rejected")
 	}
-	if _, err := Run(config.Big(), w, Config{Intervals: 1, IntervalInsts: 0}); err == nil {
+	if _, err := Run(context.Background(), config.Big(), w, Config{Intervals: 1, IntervalInsts: 0}); err == nil {
 		t.Error("zero window length must be rejected")
 	}
 }
@@ -119,7 +119,7 @@ func TestSamplingErrorNamesWindow(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			_, err := run(config.Big(), "t", badWordMachine(t, c.badAt), cfg)
+			_, err := run(context.Background(), config.Big(), "t", badWordMachine(t, c.badAt), cfg)
 			if err == nil {
 				t.Fatal("expected an error")
 			}
@@ -138,12 +138,12 @@ func TestParallelSamplingMatchesSerial(t *testing.T) {
 	cfg := Config{Intervals: 6, IntervalInsts: 8_000, SkipInsts: 12_000}
 
 	cfg.Workers = 1
-	serial, err := Run(config.HalfFX(), w, cfg)
+	serial, err := Run(context.Background(), config.HalfFX(), w, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 8
-	parallel, err := Run(config.HalfFX(), w, cfg)
+	parallel, err := Run(context.Background(), config.HalfFX(), w, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

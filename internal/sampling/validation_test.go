@@ -1,0 +1,341 @@
+package sampling
+
+// Statistical validation of the sampling methodology itself, differential
+// against full-detailed simulation:
+//
+//   - CI coverage: for every registered core kind and a mix of kernels,
+//     the sampled confidence interval must cover the full-detailed-run
+//     IPC of the same instruction span for most schedules (systematic
+//     sampling of synthetic loops carries real periodicity bias, so the
+//     bound is a coverage rate, not per-schedule certainty);
+//   - warm-up efficacy: on a cache-heavy kernel, growing the detailed
+//     warm-up prefix monotonically shrinks the cold-start gap between the
+//     sampled estimate and the full-run reference;
+//   - observation-only warm-up: driving a real timing core with a warm-up
+//     mark leaves the cumulative counters bit-identical to an unmarked
+//     run, and the warm-up prefix plus the measured remainder partition
+//     the run exactly;
+//   - cancellation promptness: cancelling a sampled run reaches both the
+//     functional fast-forward (chunked, ffChunkInsts) and the in-flight
+//     detailed windows within a bounded delay;
+//   - determinism: the Summary is bit-identical for any worker count
+//     (run under -race in CI);
+//   - a paper-parity 100M-instruction schedule, gated behind
+//     FXA_SAMPLING_LONG for the nightly tier.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"fxa/internal/asm"
+	"fxa/internal/config"
+	"fxa/internal/emu"
+	"fxa/internal/engine"
+	"fxa/internal/sweep"
+	"fxa/internal/workload"
+)
+
+// schedule is one sampling schedule of the coverage sweep.
+type schedule struct {
+	intervals    int
+	window, skip uint64
+	warmup       uint64
+}
+
+func (s schedule) span() uint64 {
+	return uint64(s.intervals) * (s.skip + s.warmup + s.window)
+}
+
+func (s schedule) config() Config {
+	return Config{Intervals: s.intervals, IntervalInsts: s.window,
+		SkipInsts: s.skip, WarmupInsts: s.warmup}
+}
+
+// refIPC runs the same span full-detailed and returns its IPC.
+func refIPC(t *testing.T, m config.Model, w workload.Params, span uint64) float64 {
+	t.Helper()
+	trace, err := w.NewTrace(span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.Run(context.Background(), m, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref.Counters.IPC()
+}
+
+// TestSampledCICoversDetailedRun is the acceptance differential: across a
+// mix of warmed schedules, the sampled confidence interval on IPC —
+// widened by a small relative tolerance — covers the full-detailed-run
+// IPC of the identical instruction span, for every registered core kind
+// (out-of-order via HALF+FX, in-order via LITTLE) on steady-state
+// kernels.
+//
+// The tolerance is load-bearing and documented: the CI quantifies
+// sampling variance (which is tiny on deterministic synthetic kernels),
+// while each detailed window starts on a fresh core, so a residual
+// cold-start bias survives any finite warm-up; and the truth itself
+// includes the program's own ramp-up. A 5% relative widening absorbs
+// both. Schedules without warm-up are deliberately absent here — their
+// much larger cold-start bias is the subject of
+// TestWarmupShrinksColdStartGap, not a CI property.
+func TestSampledCICoversDetailedRun(t *testing.T) {
+	const relTol = 0.05
+	schedules := []schedule{
+		{6, 8_000, 12_000, 2_000},
+		{8, 4_000, 8_000, 2_000},
+		{10, 4_000, 12_000, 2_000},
+		{5, 10_000, 20_000, 5_000},
+		{6, 6_000, 10_000, 4_000},
+		{8, 5_000, 12_000, 3_000},
+	}
+	models := []config.Model{config.HalfFX(), config.Little()}
+	kernels := []string{"hmmer", "libquantum"}
+	for _, m := range models {
+		for _, kname := range kernels {
+			t.Run(m.Name+"/"+kname, func(t *testing.T) {
+				w, ok := workload.ByName(kname)
+				if !ok {
+					t.Fatalf("unknown workload %s", kname)
+				}
+				missed := 0
+				for _, s := range schedules {
+					truth := refIPC(t, m, w, s.span())
+					sum, err := Run(context.Background(), m, w, s.config())
+					if err != nil {
+						t.Fatalf("schedule %+v: %v", s, err)
+					}
+					covers := math.Abs(truth-sum.IPC.Mean) <= sum.IPC.Half+relTol*truth
+					if !covers {
+						missed++
+					}
+					t.Logf("%+v: truth %.4f, sampled %s (covers=%v)",
+						s, truth, sum.IPC, covers)
+				}
+				if missed > 0 {
+					t.Errorf("%d/%d schedules missed the detailed-run IPC by more than CI+%.0f%%",
+						missed, len(schedules), 100*relTol)
+				}
+			})
+		}
+	}
+}
+
+// TestWarmupShrinksColdStartGap: on a cache-heavy kernel (mcf: 8MB
+// random-pattern footprint with pointer chasing) every detailed window
+// starts on a cold core, biasing the sampled IPC low. Growing the
+// detailed-warm-up prefix must monotonically shrink that cold-start gap
+// against the full-run reference (within a small slack for sampling
+// noise), and the longest warm-up must recover most of it.
+func TestWarmupShrinksColdStartGap(t *testing.T) {
+	w, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("unknown workload mcf")
+	}
+	m := config.HalfFX()
+	base := schedule{intervals: 6, window: 4_000, skip: 16_000}
+	warmups := []uint64{0, 2_000, 8_000}
+
+	gaps := make([]float64, len(warmups))
+	for i, warm := range warmups {
+		s := base
+		s.warmup = warm
+		truth := refIPC(t, m, w, s.span())
+		sum, err := Run(context.Background(), m, w, s.config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps[i] = math.Abs(sum.MeanIPC - truth)
+		t.Logf("warmup %5d: sampled %.4f vs truth %.4f, gap %.4f (rel %.1f%%)",
+			warm, sum.MeanIPC, truth, gaps[i], 100*gaps[i]/truth)
+	}
+	// Monotone within 10% slack per step; strictly better end to end.
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] > gaps[i-1]*1.10+1e-9 {
+			t.Errorf("gap grew with warm-up: warmup %d gap %.4f > warmup %d gap %.4f",
+				warmups[i], gaps[i], warmups[i-1], gaps[i-1])
+		}
+	}
+	if gaps[len(gaps)-1] >= gaps[0]*0.8 {
+		t.Errorf("longest warm-up only shrank the cold-start gap from %.4f to %.4f",
+			gaps[0], gaps[len(gaps)-1])
+	}
+}
+
+// TestWarmupMarkObservationOnlyOnRealCore proves the acceptance property
+// on the real timing cores (the engine-level test uses a fake): driving a
+// core with a measure-after-N mark leaves the cumulative result
+// bit-identical to an unmarked run, and the warm-up prefix plus the
+// measured remainder partition the counters exactly.
+func TestWarmupMarkObservationOnlyOnRealCore(t *testing.T) {
+	w, ok := workload.ByName("hmmer")
+	if !ok {
+		t.Fatal("unknown workload")
+	}
+	for _, m := range []config.Model{config.HalfFX(), config.Little()} {
+		t.Run(m.Name, func(t *testing.T) {
+			run := func(warm uint64) engine.Result {
+				trace, err := w.NewTrace(50_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := engine.New(m, trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := engine.Drive(context.Background(), e, engine.Options{WarmupInsts: warm})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			plain := run(0)
+			marked := run(10_000)
+			if marked.Warmup == nil {
+				t.Fatal("no warm-up prefix on marked run")
+			}
+			cmp := marked
+			cmp.Warmup = nil
+			if !reflect.DeepEqual(plain, cmp) {
+				t.Error("cumulative result differs between marked and unmarked runs")
+			}
+			meas := marked.WarmExcluded()
+			sum := meas.Counters
+			sum.Add(&marked.Warmup.Counters)
+			if sum != marked.Counters {
+				t.Error("warm-up prefix + measured remainder != whole run")
+			}
+			// The cut's precision contract: within one commit group.
+			if got := marked.Warmup.Counters.Committed; got < 10_000 || got >= 10_000+uint64(m.CommitWidth) {
+				t.Errorf("warm-up cut at %d committed insts, want [10000, 10000+%d)", got, m.CommitWidth)
+			}
+		})
+	}
+}
+
+// endlessMachine mirrors the sweep cancellation test's endless program: a
+// ~100M-iteration loop, hours of work if left alone.
+func endlessMachine(t *testing.T) *emu.Machine {
+	t.Helper()
+	prog, err := asm.Assemble(`
+	li   r1, 100000000
+	clr  r2
+loop:	add  r2, r2, r1
+	addi r1, r1, -1
+	bgt  r1, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return emu.New(prog)
+}
+
+// TestSamplingCancellationPromptness mirrors the sweep-level test: a
+// cancelled sampled run must return promptly whether the cancellation
+// lands in the functional fast-forward (checked every ffChunkInsts) or in
+// the in-flight detailed windows (checked every engine.DefaultCheckEvery
+// cycles by the sweep pool).
+func TestSamplingCancellationPromptness(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		// A skip far longer than the program keeps the run inside
+		// fast-forward until cancelled.
+		{"during-fast-forward", Config{Intervals: 1, IntervalInsts: 1_000, SkipInsts: 1 << 40}},
+		// No skip and an endless window keeps the run inside the
+		// detailed sweep until cancelled.
+		{"during-detailed-windows", Config{Intervals: 2, IntervalInsts: 1 << 40}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var cancelled time.Time
+			timer := time.AfterFunc(50*time.Millisecond, func() {
+				cancelled = time.Now()
+				cancel()
+			})
+			defer timer.Stop()
+			_, err := run(ctx, config.HalfFX(), "endless", endlessMachine(t), c.cfg)
+			returned := time.Now()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if d := returned.Sub(cancelled); d > 2*time.Second {
+				t.Fatalf("sampled run returned %v after cancellation, want <= 2s", d)
+			}
+		})
+	}
+}
+
+// TestSummaryDeterministicForAnyWorkers pins the checkpoint scheduler's
+// determinism contract on the full warm-up + CI path: the Summary —
+// per-window results, aggregates, confidence intervals, analytic estimate
+// — is bit-identical for any worker-pool size. Run under -race in CI.
+func TestSummaryDeterministicForAnyWorkers(t *testing.T) {
+	w, ok := workload.ByName("libquantum")
+	if !ok {
+		t.Fatal("unknown workload")
+	}
+	cfg := Config{Intervals: 5, IntervalInsts: 6_000, SkipInsts: 10_000, WarmupInsts: 2_000}
+	var ref Summary
+	for i, workers := range []int{1, 3, 8} {
+		cfg.Workers = workers
+		sum, err := Run(context.Background(), config.HalfFX(), w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.Sweep = sweep.Stats{} // run metrics legitimately vary
+		if i == 0 {
+			ref = sum
+			continue
+		}
+		if !reflect.DeepEqual(ref, sum) {
+			t.Fatalf("Summary differs between Workers=1 and Workers=%d", workers)
+		}
+	}
+}
+
+// TestPaperParitySampledRun is the nightly-tier 100M-instruction parity
+// run (the paper measures a 100M window, Section VI-A): 10 windows of 1M
+// measured instructions with 100k detailed warm-up, the rest skipped
+// functionally (10 × (8.9M skip + 100k warm-up + 1M window) = 100M).
+// Gated behind FXA_SAMPLING_LONG=1 — it simulates 11M detailed
+// instructions and fast-forwards ~89M, minutes of work.
+func TestPaperParitySampledRun(t *testing.T) {
+	if os.Getenv("FXA_SAMPLING_LONG") == "" {
+		t.Skip("set FXA_SAMPLING_LONG=1 to run the 100M-instruction parity test")
+	}
+	w, ok := workload.ByName("hmmer")
+	if !ok {
+		t.Fatal("unknown workload")
+	}
+	cfg := Config{Intervals: 10, IntervalInsts: 1_000_000, SkipInsts: 8_900_000, WarmupInsts: 100_000}
+	span := uint64(cfg.Intervals) * (cfg.SkipInsts + cfg.WarmupInsts + cfg.IntervalInsts)
+	if span != 100_000_000 {
+		t.Fatalf("schedule spans %d insts, want 100M", span)
+	}
+	sum, err := Run(context.Background(), config.HalfFX(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sum.PerInterval); got != cfg.Intervals {
+		t.Fatalf("completed %d windows, want %d", got, cfg.Intervals)
+	}
+	if sum.IPC.N != cfg.Intervals || sum.IPC.Half <= 0 {
+		t.Fatalf("no confidence interval on the parity run: %+v", sum.IPC)
+	}
+	if rel := sum.IPC.RelHalf(); rel > 0.10 {
+		t.Errorf("100M parity run CI half-width %.1f%% of mean, want <= 10%%", 100*rel)
+	}
+	t.Logf("100M parity: IPC %s, MPKI %s, energy/inst %s, analytic IPC %.3f, CoV %.3f",
+		sum.IPC, sum.BranchMPKI, sum.EnergyPerInst, sum.AnalyticIPC, sum.CoV())
+}

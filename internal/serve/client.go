@@ -173,6 +173,34 @@ func (c *Client) Wait(ctx context.Context, id string) (res engine.Result, cacheH
 	}
 }
 
+// WaitSample streams a sampled job (JobSpec.Sample, wire v2) to its
+// terminal event and returns the sampling Summary. Waiting on a job that
+// was not submitted with a Sample spec returns an error — its terminal
+// event carries a Result, not a Summary.
+func (c *Client) WaitSample(ctx context.Context, id string) (fxa.SamplingSummary, error) {
+	var term *Event
+	err := c.Stream(ctx, id, func(e Event) error {
+		if e.Terminal() {
+			term = &e
+		}
+		return nil
+	})
+	if err != nil {
+		return fxa.SamplingSummary{}, err
+	}
+	switch term.Event {
+	case EventResult:
+		if term.Summary == nil {
+			return fxa.SamplingSummary{}, fmt.Errorf("serve: job %s is not a sampled job (no summary on its result event)", id)
+		}
+		return *term.Summary, nil
+	case EventCancelled:
+		return fxa.SamplingSummary{}, fmt.Errorf("serve: job %s cancelled: %s", id, term.Error)
+	default:
+		return fxa.SamplingSummary{}, fmt.Errorf("serve: job %s failed: %s", id, term.Error)
+	}
+}
+
 // Cancel requests cancellation of a job.
 func (c *Client) Cancel(ctx context.Context, id string) (CancelReply, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)

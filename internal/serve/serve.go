@@ -319,6 +319,10 @@ func (s *Server) runJob(jr *jobRec) {
 	jr.append(Event{Event: EventStarted})
 
 	spec := &jr.spec
+	if spec.Sample != nil {
+		s.runSampleJob(jr)
+		return
+	}
 	var job fxa.SweepJob
 	if spec.IntervalInsts > 0 {
 		job = fxa.EvaluationJobIntervals(jr.model, jr.workload, spec.Warmup, spec.MaxInsts, spec.IntervalInsts,
@@ -377,6 +381,53 @@ func (s *Server) runJob(jr *jobRec) {
 	s.mu.Unlock()
 
 	jr.cancel() // release the context regardless of outcome
+	jr.append(ev)
+}
+
+// runSampleJob executes a sampled job (JobSpec.Sample, wire v2): the
+// SMARTS-style schedule runs under the job's context and the terminal
+// "result" event carries the sampling Summary instead of a Result.
+// Sampled jobs bypass the shared result cache (a Summary is not a cache
+// entry) and run their detailed windows sequentially — the job already
+// occupies one worker slot, and letting it fan out internally would let
+// one tenant's sampled job oversubscribe the fabric's pool.
+func (s *Server) runSampleJob(jr *jobRec) {
+	cfg := jr.spec.Sample.Config()
+	cfg.Workers = 1
+
+	t0 := time.Now()
+	sum, err := fxa.SampleContext(jr.ctx, jr.model, jr.workload, cfg)
+	wall := time.Since(t0)
+
+	s.mu.Lock()
+	s.running--
+	s.runNanos += int64(wall)
+	s.runCount++
+	tq := s.tenantLocked(jr.tenant)
+	var ev Event
+	switch {
+	case err == nil:
+		jr.state = stateDone
+		s.completed++
+		tq.stats.Completed++
+		s.ran++
+		tq.stats.Ran++
+		ev = Event{Event: EventResult, Summary: &sum}
+	case jr.cancelRequested && errors.Is(err, context.Canceled):
+		jr.state = stateCancelled
+		s.cancelled++
+		tq.stats.Cancelled++
+		ev = Event{Event: EventCancelled, Error: err.Error()}
+	default:
+		jr.state = stateFailed
+		s.failed++
+		tq.stats.Failed++
+		ev = Event{Event: EventError, Error: err.Error()}
+	}
+	s.retainLocked(jr)
+	s.mu.Unlock()
+
+	jr.cancel()
 	jr.append(ev)
 }
 

@@ -657,3 +657,88 @@ func TestHealthzReportsVersion(t *testing.T) {
 		t.Errorf("healthz = %+v, want ok/test-build-1 with a Go version", h)
 	}
 }
+
+// TestSampledJobRoundTrip covers the wire-v2 sampled-job path: a job
+// submitted with a Sample spec streams to a terminal "result" event
+// carrying the sampling Summary (and no Result), and WaitSample returns
+// a Summary bit-identical to running the same schedule locally — the
+// sampling scheduler's determinism contract extended over the wire.
+func TestSampledJobRoundTrip(t *testing.T) {
+	_, _, client := newFabric(t, Config{Workers: 2})
+
+	spec := JobSpec{
+		Tenant:   "alice",
+		Model:    "HALF+FX",
+		Workload: "hmmer",
+		Sample: &SampleSpec{
+			Intervals:     4,
+			IntervalInsts: 5_000,
+			SkipInsts:     10_000,
+			WarmupInsts:   2_000,
+			CILevel:       0.95,
+		},
+	}
+	id, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	if err := client.Stream(context.Background(), id, func(e Event) error {
+		events = append(events, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if last.Event != EventResult || last.Summary == nil {
+		t.Fatalf("terminal event %q (summary=%v), want a result carrying a summary",
+			last.Event, last.Summary != nil)
+	}
+	if last.Result != nil {
+		t.Error("sampled job's result event also carries a Result; the summary replaces it")
+	}
+
+	remote, err := client.WaitSample(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.SchemaVersion == 0 || remote.IPC.N != spec.Sample.Intervals {
+		t.Fatalf("summary lost its schema or CI through the wire: %+v", remote.IPC)
+	}
+
+	m, err := fxa.ModelByName(spec.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fxa.WorkloadByName(spec.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := fxa.Sample(m, w, spec.Sample.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run metrics legitimately differ; the simulation payload must not.
+	remote.Sweep, local.Sweep = fxa.SweepStats{}, fxa.SweepStats{}
+	if !reflect.DeepEqual(remote, local) {
+		t.Error("remote sampling summary differs from the local run of the same schedule")
+	}
+
+	// WaitSample on a non-sampled job must fail loudly, not hand back a
+	// zero Summary.
+	plainID, err := client.Submit(context.Background(), quickSpec("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitSample(context.Background(), plainID); err == nil {
+		t.Error("WaitSample on a plain job did not fail")
+	}
+
+	// Validation: a sample spec without windows is rejected at submit.
+	bad := spec
+	bad.Sample = &SampleSpec{Intervals: 0, IntervalInsts: 100}
+	if _, err := client.Submit(context.Background(), bad); err == nil {
+		t.Error("sample spec with zero intervals was accepted")
+	}
+}

@@ -11,14 +11,30 @@
 // verbatim (engine.Result / engine.Interval, schema v2) — the wire format
 // introduces no second serialization of simulation data, which is what
 // makes remote results bit-identical to local ones (test-enforced).
+//
+// Wire schema versions (WireVersion):
+//
+//	v1: JobSpec{model, workload, warmup, max_insts, interval_insts},
+//	    events queued/started/interval/result/error/cancelled.
+//	v2: JobSpec gains the optional "sample" block (SampleSpec) and the
+//	    "result" event gains the optional "summary" field carrying the
+//	    schema-versioned sampling.Summary (per-window results plus
+//	    confidence intervals). Both additions are optional JSON fields,
+//	    so every v1 exchange is also a valid v2 exchange — v1 clients
+//	    keep working unchanged against a v2 daemon.
 package serve
 
 import (
 	"fmt"
 
 	"fxa/internal/engine"
+	"fxa/internal/sampling"
 	"fxa/internal/sweep"
 )
+
+// WireVersion identifies the protocol generation (see the package comment
+// for the version history).
+const WireVersion = 2
 
 // JobSpec is one job submission: a single (model, workload) simulation
 // cell, the same unit a local sweep dispatches to its worker pool.
@@ -55,12 +71,55 @@ type JobSpec struct {
 	// NoCache opts the job out of the shared result cache: it always
 	// simulates and its result is not stored.
 	NoCache bool `json:"no_cache,omitempty"`
+
+	// Sample, when present, turns the job into a sampled simulation
+	// (wire v2): instead of one detailed run of MaxInsts, the worker
+	// runs the SMARTS-style schedule and the terminal "result" event
+	// carries the sampling Summary (Event.Summary) instead of a single
+	// Result. Warmup, MaxInsts and IntervalInsts are ignored — the
+	// schedule fully describes the run. Sampled jobs never touch the
+	// shared result cache.
+	Sample *SampleSpec `json:"sample,omitempty"`
+}
+
+// SampleSpec is the wire form of a sampling schedule (wire v2); fields
+// mirror sampling.Config.
+type SampleSpec struct {
+	// Intervals is the number of detailed windows.
+	Intervals int `json:"intervals"`
+	// IntervalInsts is the measured length of each window.
+	IntervalInsts uint64 `json:"interval_insts"`
+	// SkipInsts is the functional fast-forward before each window.
+	SkipInsts uint64 `json:"skip_insts,omitempty"`
+	// WarmupInsts is each window's detailed-warm-up prefix, simulated
+	// in full detail but excluded from measurement.
+	WarmupInsts uint64 `json:"warmup_insts,omitempty"`
+	// CILevel is the two-sided confidence level; 0 means the sampling
+	// default (0.95).
+	CILevel float64 `json:"ci_level,omitempty"`
+}
+
+// Config converts the wire form into the sampling package's Config.
+func (s *SampleSpec) Config() sampling.Config {
+	return sampling.Config{
+		Intervals:     s.Intervals,
+		IntervalInsts: s.IntervalInsts,
+		SkipInsts:     s.SkipInsts,
+		WarmupInsts:   s.WarmupInsts,
+		CILevel:       s.CILevel,
+	}
 }
 
 // Validate checks a spec is runnable (names are resolved separately).
 func (s *JobSpec) Validate() error {
 	if s.Model == "" || s.Workload == "" {
 		return fmt.Errorf("serve: job spec needs model and workload")
+	}
+	if s.Sample != nil {
+		if s.Sample.Intervals <= 0 || s.Sample.IntervalInsts == 0 {
+			return fmt.Errorf("serve: sample spec needs positive intervals and window length")
+		}
+		return nil
 	}
 	if s.MaxInsts == 0 {
 		return fmt.Errorf("serve: job spec needs max_insts > 0 (unbounded jobs would pin a worker forever)")
@@ -100,6 +159,12 @@ type Event struct {
 	Result    *engine.Result `json:"result,omitempty"`
 	CacheHit  bool           `json:"cache_hit,omitempty"`
 	Collapsed bool           `json:"collapsed,omitempty"`
+
+	// Summary accompanies "result" on sampled jobs (JobSpec.Sample,
+	// wire v2): the schema-versioned sampling Summary — per-window
+	// results, measured aggregate and per-metric confidence intervals —
+	// replaces the single Result, which is then absent.
+	Summary *sampling.Summary `json:"summary,omitempty"`
 
 	// Error accompanies "error" (the job's failure) and "cancelled"
 	// (the underlying run's termination error, normally just the

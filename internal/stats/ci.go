@@ -1,0 +1,220 @@
+// Sample statistics for the sampled-simulation harness
+// (internal/sampling). Where robust.go serves the perfgate's heavy-tailed
+// benchmark timings with rank statistics, the sampling harness works on
+// per-window metric distributions that SMARTS-style theory treats as
+// approximately normal: the honest uncertainty report there is the
+// classic Student-t confidence interval on the mean, with the sample
+// standard deviation computed by Welford's numerically stable one-pass
+// update (the naive E[x²]−E[x]² form cancels catastrophically once the
+// mean dwarfs the spread — exactly the shape of per-window IPC series).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MeanStdDev returns the sample mean and the sample standard deviation
+// (n−1 denominator) of xs, via Welford's one-pass recurrence. Fewer than
+// two samples carry no spread information: the standard deviation is 0
+// for a single sample and both values are 0 for an empty slice.
+func MeanStdDev(xs []float64) (mean, sd float64) {
+	var m, m2 float64
+	for i, x := range xs {
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	if len(xs) < 2 {
+		return m, 0
+	}
+	return m, math.Sqrt(m2 / float64(len(xs)-1))
+}
+
+// Estimate is one sampled metric: a point estimate with the half-width of
+// its confidence interval. Half is 0 when N < 2 — a single window carries
+// no spread information, so N (always recorded) is the honesty signal,
+// not a zero half-width. The fields are JSON-tagged because Estimates
+// travel verbatim through the serving fabric's wire format.
+type Estimate struct {
+	Mean  float64 `json:"mean"`
+	Half  float64 `json:"half"`  // CI half-width at Level; 0 when N < 2
+	N     int     `json:"n"`     // number of samples behind the estimate
+	Level float64 `json:"level"` // confidence level, e.g. 0.95
+}
+
+// Lo returns the lower confidence bound.
+func (e Estimate) Lo() float64 { return e.Mean - e.Half }
+
+// Hi returns the upper confidence bound.
+func (e Estimate) Hi() float64 { return e.Mean + e.Half }
+
+// Covers reports whether v lies inside the confidence interval.
+func (e Estimate) Covers(v float64) bool { return v >= e.Lo() && v <= e.Hi() }
+
+// RelHalf returns the half-width as a fraction of the mean (NaN when the
+// mean is 0, so "no data" cannot read as "perfectly tight").
+func (e Estimate) RelHalf() float64 {
+	if e.Mean == 0 {
+		return math.NaN()
+	}
+	return e.Half / e.Mean
+}
+
+// String renders the estimate in the conventional "m ± h" form with the
+// level and sample count, e.g. "0.8123 ± 0.0140 (95% CI, n=10)".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4g ± %.3g (%g%% CI, n=%d)", e.Mean, e.Half, e.Level*100, e.N)
+}
+
+// ConfidenceInterval returns the Student-t confidence interval for the
+// mean of xs at the given two-sided confidence level (e.g. 0.95):
+//
+//	mean ± t_{n−1, (1+level)/2} · s / √n
+//
+// with s the n−1 sample standard deviation (MeanStdDev). Levels outside
+// (0, 1) are clamped to 0.95. With fewer than two samples the half-width
+// is 0 and N records why (see Estimate).
+func ConfidenceInterval(xs []float64, level float64) Estimate {
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	mean, sd := MeanStdDev(xs)
+	e := Estimate{Mean: mean, N: len(xs), Level: level}
+	if len(xs) < 2 {
+		return e
+	}
+	n := float64(len(xs))
+	e.Half = TQuantile(n-1, (1+level)/2) * sd / math.Sqrt(n)
+	return e
+}
+
+// TQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom (df > 0, 0 < p < 1): the value t with
+// P(T ≤ t) = p. Computed by bisecting the CDF, which is evaluated
+// through the regularized incomplete beta function — slower than a
+// closed-form approximation but correct to ~1e-10 across the whole df
+// range, which is what the published-table validation test pins.
+func TQuantile(df, p float64) float64 {
+	if df <= 0 || math.IsNaN(df) || p <= 0 || p >= 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	if p < 0.5 {
+		return -TQuantile(df, 1-p)
+	}
+	// Bracket the quantile: the t CDF is continuous and strictly
+	// increasing, and every two-sided level used in practice lies well
+	// inside [0, 1e8] even at df ≈ 1 (t_{1, 0.9995} ≈ 636).
+	lo, hi := 0.0, 1.0
+	for TCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF is the cumulative distribution function of Student's t
+// distribution with df degrees of freedom, via the identity
+//
+//	P(T ≤ t) = 1 − I_x(df/2, 1/2)/2,  x = df/(df+t²),  t ≥ 0
+//
+// where I is the regularized incomplete beta function.
+func TCDF(t, df float64) float64 {
+	if math.IsNaN(t) || df <= 0 {
+		return math.NaN()
+	}
+	if t < 0 {
+		return 1 - TCDF(-t, df)
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	x := df / (df + t*t)
+	return 1 - regIncBeta(df/2, 0.5, x)/2
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// evaluated by the continued fraction of Numerical-Recipes form (modified
+// Lentz), using the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) to stay in the
+// rapidly converging region.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	la, _ := math.Lgamma(a + b)
+	lb, _ := math.Lgamma(a)
+	lc, _ := math.Lgamma(b)
+	front := math.Exp(la - lb - lc + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		tiny  = 1e-300
+		eps   = 1e-15
+		iters = 300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= iters; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

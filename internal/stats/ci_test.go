@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTQuantileAgainstPublishedTables pins TQuantile to the classic
+// printed t tables (two-sided 95% → p = 0.975, and a few other levels).
+// The table values are rounded to three decimals, so the tolerance is
+// half an ulp of the print precision.
+func TestTQuantileAgainstPublishedTables(t *testing.T) {
+	cases := []struct {
+		df   float64
+		p    float64
+		want float64
+	}{
+		// p = 0.975 column (two-sided 95%).
+		{1, 0.975, 12.706},
+		{2, 0.975, 4.303},
+		{3, 0.975, 3.182},
+		{5, 0.975, 2.571},
+		{10, 0.975, 2.228},
+		{20, 0.975, 2.086},
+		{30, 0.975, 2.042},
+		{60, 0.975, 2.000},
+		{120, 0.975, 1.980},
+		// p = 0.95 column (two-sided 90%).
+		{1, 0.95, 6.314},
+		{5, 0.95, 2.015},
+		{10, 0.95, 1.812},
+		{30, 0.95, 1.697},
+		// p = 0.995 column (two-sided 99%).
+		{1, 0.995, 63.657},
+		{5, 0.995, 4.032},
+		{10, 0.995, 3.169},
+		{30, 0.995, 2.750},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.df, c.p)
+		if math.Abs(got-c.want) > 0.0006+1e-9*c.want {
+			t.Errorf("TQuantile(%v, %v) = %.5f, want %.3f", c.df, c.p, got, c.want)
+		}
+	}
+}
+
+// TestTQuantileLimits checks structural properties: symmetry, the median,
+// and convergence to the normal quantile for large df.
+func TestTQuantileLimits(t *testing.T) {
+	if got := TQuantile(7, 0.5); got != 0 {
+		t.Errorf("median quantile = %v, want 0", got)
+	}
+	if a, b := TQuantile(7, 0.1), -TQuantile(7, 0.9); math.Abs(a-b) > 1e-9 {
+		t.Errorf("symmetry: TQuantile(7,0.1)=%v, -TQuantile(7,0.9)=%v", a, b)
+	}
+	// df → ∞ approaches the standard normal quantile 1.95996 at p=0.975.
+	if got := TQuantile(1e6, 0.975); math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("TQuantile(1e6, 0.975) = %v, want ≈ 1.95996", got)
+	}
+	for _, bad := range []float64{0, -1, math.NaN()} {
+		if !math.IsNaN(TQuantile(bad, 0.9)) {
+			t.Errorf("TQuantile(df=%v) should be NaN", bad)
+		}
+		if !math.IsNaN(TQuantile(5, bad)) && bad != 0 {
+			t.Errorf("TQuantile(p=%v) should be NaN", bad)
+		}
+	}
+	if !math.IsNaN(TQuantile(5, 1)) || !math.IsNaN(TQuantile(5, 0)) {
+		t.Error("TQuantile at p ∈ {0,1} should be NaN")
+	}
+}
+
+// TestTCDFRoundTrip: the quantile function inverts the CDF.
+func TestTCDFRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2.5, 4, 9, 29, 240} {
+		for _, p := range []float64{0.01, 0.2, 0.5, 0.8, 0.975, 0.999} {
+			q := TQuantile(df, p)
+			if got := TCDF(q, df); math.Abs(got-p) > 1e-8 {
+				t.Errorf("TCDF(TQuantile(%v,%v)) = %v", df, p, got)
+			}
+		}
+	}
+}
+
+// TestWelfordNumericalStability: the naive E[x²]−E[x]² population formula
+// cancels catastrophically when the mean dwarfs the spread; Welford does
+// not. The data is 1e9 plus the integers 0..9, whose exact sample
+// standard deviation is that of 0..9: √(82.5/9).
+func TestWelfordNumericalStability(t *testing.T) {
+	xs := make([]float64, 10)
+	var total, totalSq float64
+	for i := range xs {
+		xs[i] = 1e9 + float64(i)
+		total += xs[i]
+		totalSq += xs[i] * xs[i]
+	}
+	want := math.Sqrt(82.5 / 9)
+	mean, sd := MeanStdDev(xs)
+	if math.Abs(mean-1e9-4.5) > 1e-6 {
+		t.Errorf("mean = %v, want 1e9+4.5", mean)
+	}
+	if math.Abs(sd-want) > 1e-9 {
+		t.Errorf("Welford sd = %.12f, want %.12f", sd, want)
+	}
+	// Demonstrate the failure mode being defended against: the naive
+	// formula's error at this scale is orders of magnitude larger than
+	// Welford's. (If float64 ever grows enough mantissa for the naive
+	// form to match, this guard stops asserting anything — fine.)
+	n := float64(len(xs))
+	naive := math.Sqrt(math.Max(0, totalSq/n-(total/n)*(total/n)) * n / (n - 1))
+	if math.Abs(naive-want) > 1e-9 && math.Abs(sd-want) >= math.Abs(naive-want) {
+		t.Errorf("Welford error %.3g not better than naive error %.3g",
+			math.Abs(sd-want), math.Abs(naive-want))
+	}
+}
+
+func TestMeanStdDevDegenerate(t *testing.T) {
+	if m, sd := MeanStdDev(nil); m != 0 || sd != 0 {
+		t.Errorf("empty: got (%v, %v)", m, sd)
+	}
+	if m, sd := MeanStdDev([]float64{3.25}); m != 3.25 || sd != 0 {
+		t.Errorf("single: got (%v, %v)", m, sd)
+	}
+}
+
+// TestConfidenceIntervalShrinksAsRootN: on synthetic data of fixed
+// variance, the CI half-width shrinks like 1/√n — quadrupling the sample
+// count halves the width, within the tolerance the sample-to-sample
+// variance of s itself allows.
+func TestConfidenceIntervalShrinksAsRootN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sample := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 5 + rng.NormFloat64()
+		}
+		return xs
+	}
+	// Average the measured half-width over many draws per n so the test
+	// asserts the scaling law, not one lucky draw.
+	avgHalf := func(n int) float64 {
+		const draws = 200
+		var sum float64
+		for d := 0; d < draws; d++ {
+			sum += ConfidenceInterval(sample(n), 0.95).Half
+		}
+		return sum / draws
+	}
+	h16, h64, h256 := avgHalf(16), avgHalf(64), avgHalf(256)
+	// Each quadrupling should roughly halve the width. The t quantile
+	// also shrinks slightly with df, so ratios land a touch above 2.
+	for _, r := range []float64{h16 / h64, h64 / h256} {
+		if r < 1.7 || r > 2.5 {
+			t.Errorf("CI width ratio per 4× samples = %.3f, want ≈ 2 (h16=%.4f h64=%.4f h256=%.4f)",
+				r, h16, h64, h256)
+		}
+	}
+}
+
+// TestConfidenceIntervalKnownValue pins the full formula on a hand-small
+// vector: mean 4, s = √(10/3), n = 4 → half = t_{3,0.975}·s/2.
+func TestConfidenceIntervalKnownValue(t *testing.T) {
+	e := ConfidenceInterval([]float64{2, 4, 4, 6}, 0.95)
+	if e.N != 4 || e.Level != 0.95 {
+		t.Fatalf("N=%d Level=%v", e.N, e.Level)
+	}
+	if math.Abs(e.Mean-4) > 1e-12 {
+		t.Errorf("mean = %v", e.Mean)
+	}
+	wantHalf := 3.182 * math.Sqrt(8.0/3) / 2
+	if math.Abs(e.Half-wantHalf) > 2e-3 {
+		t.Errorf("half = %v, want ≈ %v", e.Half, wantHalf)
+	}
+	if !e.Covers(4) || e.Covers(e.Hi()+0.1) {
+		t.Error("Covers is inconsistent with Lo/Hi")
+	}
+}
+
+func TestConfidenceIntervalDegenerate(t *testing.T) {
+	e := ConfidenceInterval([]float64{1.5}, 0.95)
+	if e.Half != 0 || e.N != 1 {
+		t.Errorf("single-sample estimate %+v: want Half 0, N 1", e)
+	}
+	if e := ConfidenceInterval([]float64{1, 2, 3}, 0); e.Level != 0.95 {
+		t.Errorf("invalid level not defaulted: %+v", e)
+	}
+	if rh := (Estimate{Mean: 0, Half: 0}).RelHalf(); !math.IsNaN(rh) {
+		t.Errorf("RelHalf of zero-mean estimate = %v, want NaN", rh)
+	}
+}
