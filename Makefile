@@ -9,6 +9,8 @@
 #                note when staticcheck is not installed; CI installs it)
 #   make race    only the scoped race check
 #   make bench   hot-loop benchmarks, -benchmem -count=5 (benchstat-ready)
+#   make bench-core  the core timing-loop suite alone, single repetition;
+#                BENCH_CORE_CPUPROFILE=x.pprof also collects a CPU profile
 #   make bench-emu  functional fast-forward + snapshot benchmarks
 #                (the historical speedup record is BENCH_ff_history.json)
 #   make bench-figures  one pass over the table/figure benchmarks
@@ -59,8 +61,18 @@ FUZZTIME ?= 30s
 STATICCHECK ?= staticcheck
 
 .PHONY: tier1 check build vet test race race-full lint fmt-check \
-	bench bench-emu bench-figures bench-gate bench-gate-full \
+	bench bench-core bench-emu bench-figures bench-gate bench-gate-full \
 	bench-gate-update fuzz serve-smoke sampling-validate sampling-long
+
+# bench-core profiling knob: when set, the core suite also writes a CPU
+# profile there (e.g. `make bench-core BENCH_CORE_CPUPROFILE=core.pprof`;
+# inspect with `go tool pprof core.pprof`). Nightly CI sets it and
+# uploads the rotated profiles as artifacts.
+BENCH_CORE_CPUPROFILE ?=
+BENCH_CORE_FLAGS =
+ifneq ($(BENCH_CORE_CPUPROFILE),)
+BENCH_CORE_FLAGS += -cpuprofile $(BENCH_CORE_CPUPROFILE)
+endif
 
 tier1: build vet test race
 
@@ -103,6 +115,13 @@ lint: fmt-check vet
 # discipline documented in DESIGN.md §8.2.
 bench:
 	$(GO) test -bench 'BenchmarkCore' -benchmem -count=5 -run '^$$' ./internal/core
+
+# The detailed-timing-loop suite alone (hot loop, flush-heavy, and the
+# memory-bound idle-skip regime), one repetition for quick iteration.
+# Set BENCH_CORE_CPUPROFILE to also collect a CPU profile of the run.
+bench-core:
+	$(GO) test -bench '^BenchmarkCore' -benchmem -count=1 -run '^$$' \
+		$(BENCH_CORE_FLAGS) ./internal/core
 
 # Functional fast-forward and snapshot benchmarks (DESIGN.md §8.3).
 # The before/after record of the fast-path work is BENCH_ff_history.json;

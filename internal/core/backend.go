@@ -31,21 +31,13 @@ func (co *Core) issue() {
 		if !ready {
 			continue
 		}
-		if u.isLoad() && u.depStore != nil && !u.depStore.executed {
-			continue // store-set predicted dependence
+		if u.depStore != nil && !u.depStore.executed {
+			continue // store-set predicted dependence (loads only)
 		}
 
 		// FU availability by class.
-		var pool []int64
-		cls := u.rec.Inst.Op.Class()
-		switch cls {
-		case isa.ClassLoad, isa.ClassStore:
-			pool = co.memFU
-		case isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv:
-			pool = co.fpFU
-		default:
-			pool = co.intFU
-		}
+		cls := u.st.Cls
+		pool := co.fuPool(cls)
 		fu := -1
 		for i, busy := range pool {
 			if busy <= co.cycle {
@@ -59,15 +51,16 @@ func (co *Core) issue() {
 
 		// Grant.
 		grants++
+		co.active = true
 		co.traceStage(u, "Is")
 		u.issued = true
 		u.executed = true
 		u.inIQ = false
 		removed = true
 		u.execCycle = co.cycle + 2 // issue → register read → execute
-		lat := int64(u.rec.Inst.Op.Latency())
+		lat := u.st.Lat
 		occupancy := int64(1) // pipelined FUs
-		if cls == isa.ClassIntDiv || cls == isa.ClassFPDiv {
+		if u.st.Unpipelined {
 			occupancy = lat // unpipelined dividers
 		}
 		pool[fu] = co.cycle + occupancy
@@ -91,11 +84,9 @@ func (co *Core) issue() {
 			co.c.OXUBypassDrives++
 			co.c.IQWakeups++ // completion tag broadcast across the IQ CAM
 		}
-		if u.rec.Inst.IsBranch() {
-			if u.mispredict {
-				co.c.MispredResolvedOXU++
-				co.resolveMispredict(u, u.execCycle+1, false)
-			}
+		if u.st.IsBranch && u.mispredict {
+			co.c.MispredResolvedOXU++
+			co.resolveMispredict(u, u.execCycle+1, false)
 		}
 	}
 	if removed {
@@ -213,6 +204,7 @@ func (co *Core) commit() {
 			return // still in the IXU pipeline
 		}
 		co.rob.PopFront()
+		co.active = true
 		co.traceStage(u, "Cm")
 		co.traceRetire(u, false)
 		if u.isLoad() {
@@ -226,7 +218,7 @@ func (co *Core) commit() {
 			co.releaseDest(u)
 		}
 
-		cls := u.rec.Inst.Op.Class()
+		cls := u.st.Cls
 		co.c.Committed++
 		co.c.CommittedByClass[cls]++
 		co.c.ROBReads++

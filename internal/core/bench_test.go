@@ -74,3 +74,19 @@ func BenchmarkCoreHotLoop(b *testing.B) {
 func BenchmarkCoreFlushHeavy(b *testing.B) {
 	benchRun(b, config.HalfFX(), "bzip2", 60_000)
 }
+
+// BenchmarkCoreMemBound measures the memory-bound regime that motivates
+// idle-cycle skipping: mcf's pointer-chasing misses with a single MSHR, so
+// the window drains and the core sits for hundreds of cycles per fill.
+// Skip-off, this is dominated by iterating idle cycles; skip-on, by the
+// misses themselves.
+func BenchmarkCoreMemBound(b *testing.B) {
+	const insts = 60_000
+	for _, base := range []config.Model{config.Big(), config.HalfFX()} {
+		m := base
+		m.MSHRs = 1
+		b.Run(fmt.Sprintf("%s/mcf/mshr1", m.Name), func(b *testing.B) {
+			benchRun(b, m, "mcf", insts)
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"fxa/internal/bpred"
 	"fxa/internal/config"
+	"fxa/internal/decodecache"
 	"fxa/internal/emu"
 	"fxa/internal/engine"
 	"fxa/internal/isa"
@@ -86,7 +87,6 @@ type Core struct {
 	rat      [2][isa.NumIntRegs]*uop // last in-flight producer per arch reg
 	intInUse int                     // physical int registers held by in-flight uops
 	fpInUse  int
-	srcBuf   [3]isa.Reg // scratch for Inst.Srcs (keeps rename allocation-free)
 
 	// IXU pipeline: stage 0 is the entry stage. nil-padded slots.
 	ixu [][]*uop
@@ -117,7 +117,29 @@ type Core struct {
 	// memory-level parallelism (Model.MSHRs).
 	mshrFree []int64
 
-	// debug, when non-nil, is invoked at the end of every simulated cycle.
+	// dec memoizes per-PC static decode templates (src/dst registers, FU
+	// class, latency, branch kind), so allocUop is a template stamp.
+	dec decodecache.Cache
+	// codeGen is the trace's code-write generation probe, nil when the
+	// trace does not support it; lastGen is the generation dec's tables
+	// were built against (checked once per Step slice).
+	codeGen engine.CodeGenTrace
+	lastGen uint64
+
+	// Event-driven idle-cycle skipping (skip.go). active records whether
+	// any stage changed state this cycle; when it stayed false, nextEvent
+	// computes a conservative lower bound on the first cycle anything can
+	// happen and the loop advances co.cycle directly to just before it.
+	// The skipped spans never appear in stats.Counters — results are
+	// bit-identical to the tick path; skippedCycles/skipSpans are
+	// core-local diagnostics.
+	skipIdle      bool
+	active        bool
+	skippedCycles int64
+	skipSpans     int64
+
+	// debug, when non-nil, is invoked at the end of every simulated cycle
+	// the loop actually iterates (skipped idle cycles do not fire it).
 	debug func()
 
 	// tracer, when non-nil, receives pipeline events (see tracer.go).
@@ -147,9 +169,14 @@ func New(cfg config.Model, trace Trace) (*Core, error) {
 	co.rob = newUopRing(cfg.ROBEntries)
 	co.lq = newUopRing(cfg.LQEntries)
 	co.sq = newUopRing(cfg.SQEntries)
-	co.feQueue = newUopRing((int(co.frontDepth()) + 2) * cfg.FetchWidth)
+	co.feQueue = newUopRing(co.feCap())
 	co.iq = make([]*uop, 0, cfg.IQEntries)
 	co.tr = engine.NewTraceReader(trace)
+	co.skipIdle = engine.IdleSkip()
+	if g, ok := trace.(engine.CodeGenTrace); ok {
+		co.codeGen = g
+		co.lastGen = g.CodeGen()
+	}
 	if cfg.FX {
 		co.ixu = make([][]*uop, cfg.IXU.Stages())
 		for i := range co.ixu {
@@ -173,6 +200,26 @@ func (co *Core) frontDepth() int64 {
 	return d
 }
 
+// feCap is the front-end queue capacity: the decode/rename pipeline depth
+// plus a small fetch buffer, in instructions.
+func (co *Core) feCap() int {
+	return (int(co.frontDepth()) + 2) * co.cfg.FetchWidth
+}
+
+// fuPool returns the FU busy-until pool serving an execution class.
+// Shared by the OXU select loop and the next-event scan so the mapping
+// cannot drift between them.
+func (co *Core) fuPool(cls isa.Class) []int64 {
+	switch cls {
+	case isa.ClassLoad, isa.ClassStore:
+		return co.memFU
+	case isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv:
+		return co.fpFU
+	default:
+		return co.intFU
+	}
+}
+
 // init registers the out-of-order core with the engine layer, so any
 // package that (blank-)imports internal/core can construct it through
 // engine.New without referring to this package's API.
@@ -194,10 +241,26 @@ func (co *Core) Run(ctx context.Context) (Result, error) {
 // It returns done=true once the trace is exhausted and the pipeline has
 // drained, or an error if the timing model stops making progress for
 // engine.DeadlockWindow cycles.
+//
+// Step consumes its cycle budget exactly even when idle-cycle skipping is
+// enabled: a jump that would overshoot nCycles is clamped, so
+// engine.Drive's check-every cadence (context cancellation, interval
+// cuts, warm-up marks) is unchanged by skipping.
 func (co *Core) Step(nCycles int64) (bool, error) {
+	if co.codeGen != nil {
+		// Decode-cache hygiene: drop templates built before the last
+		// code write. Correctness never depends on this — Lookup
+		// re-validates every slot against the record's Inst — it just
+		// keeps a self-modifying program from accumulating dead pages.
+		if g := co.codeGen.CodeGen(); g != co.lastGen {
+			co.lastGen = g
+			co.dec.Invalidate()
+		}
+	}
 	for n := int64(0); n < nCycles; n++ {
 		co.cycle++
 		co.memPortsThisCycle = 0
+		co.active = false
 		co.commit()
 		co.issue()
 		if co.cfg.FX {
@@ -216,9 +279,27 @@ func (co *Core) Step(nCycles int64) (bool, error) {
 			return false, co.wd.Fail(co.cfg.Name, co.cycle,
 				fmt.Sprintf("rob=%d iq=%d fe=%d", co.rob.Len(), len(co.iq), co.feQueue.Len()))
 		}
+		if co.skipIdle && !co.active {
+			if j := co.idleJump(nCycles - 1 - n); j > 0 {
+				co.cycle += j
+				n += j
+				co.skippedCycles += j
+				co.skipSpans++
+			}
+		}
 	}
 	return false, nil
 }
+
+// SetIdleSkip overrides the process-wide default (engine.SetIdleSkip) for
+// this core. Skip-on and skip-off runs are bit-identical; the knob exists
+// for the differential suite and debugging, not fidelity.
+func (co *Core) SetIdleSkip(on bool) { co.skipIdle = on }
+
+// SkipStats reports how many cycles the event-driven scheduler skipped
+// and across how many idle spans. Diagnostics only — deliberately not
+// part of stats.Counters, whose JSON form the goldens pin byte-exactly.
+func (co *Core) SkipStats() (cycles, spans int64) { return co.skippedCycles, co.skipSpans }
 
 // Result assembles the statistics collected so far (engine.Engine). It is
 // idempotent and safe to call mid-run.
@@ -277,6 +358,7 @@ func (co *Core) ixuEmpty() bool {
 // steady stream of violations performs no per-flush heap work.
 func (co *Core) flushFrom(seq uint64, when int64) {
 	co.c.Replays++
+	co.active = true
 
 	// Collect squashed records in program order: ROB suffix, then the
 	// IXU contents, then the front-end queue (all younger than the ROB).

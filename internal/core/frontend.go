@@ -50,12 +50,13 @@ func (co *Core) fetch() {
 	// The front-end queue bounds the number of in-flight fetched-but-not-
 	// renamed instructions (the decode/rename pipeline plus a small fetch
 	// buffer).
-	capFE := (int(co.frontDepth()) + 2) * co.cfg.FetchWidth
+	capFE := co.feCap()
 	for n := 0; n < co.cfg.FetchWidth && co.feQueue.Len() < capFE; n++ {
 		rec, ok := co.nextRec()
 		if !ok {
 			return
 		}
+		co.active = true
 		// Instruction cache: access once per new line.
 		line := rec.PC >> lineShift
 		if line+1 != co.lastLine {
@@ -72,12 +73,11 @@ func (co *Core) fetch() {
 		}
 
 		u := co.allocUop(rec, co.cycle)
-		in := rec.Inst
-		if in.IsBranch() {
+		if u.st.IsBranch {
 			co.c.Branches++
 			mispred := false
 			switch {
-			case in.IsCondBranch():
+			case u.st.IsCond:
 				_, correct := co.bp.PredictConditional(rec.PC, rec.Taken)
 				mispred = !correct
 				if rec.Taken {
@@ -87,12 +87,12 @@ func (co *Core) fetch() {
 						co.fetchStall = co.cycle + 2
 					}
 				}
-			case in.Op == isa.OpBr:
+			case u.st.IsUncond:
 				if !co.bp.PredictTarget(rec.PC, rec.NextPC) {
 					co.fetchStall = co.cycle + 2
 				}
 			default: // indirect jump
-				if rec.Inst.Op == isa.OpJmp && rec.Inst.Rd == isa.ZeroReg {
+				if u.st.IsReturn {
 					// Non-linking jump = return: predict via the RAS.
 					if !co.bp.Return(rec.PC, rec.NextPC) {
 						mispred = true
@@ -127,6 +127,39 @@ func (co *Core) fetch() {
 	}
 }
 
+// renameBlocked reports whether u — the front-end queue head, already out
+// of the decode pipeline — cannot rename this cycle for structural
+// reasons. Shared with the next-event scan (skip.go) so the gate set can
+// never drift between the two.
+func (co *Core) renameBlocked(u *uop) bool {
+	if co.rob.Len() >= co.cfg.ROBEntries {
+		return true
+	}
+	if u.hasDst {
+		if u.dst.File == isa.IntFile {
+			if co.intInUse >= co.cfg.IntPRF-isa.NumIntRegs {
+				return true
+			}
+		} else if co.fpInUse >= co.cfg.FPPRF-isa.NumFPRegs {
+			return true
+		}
+	}
+	if u.st.IsLoad && co.lq.Len() >= co.cfg.LQEntries {
+		return true
+	}
+	if u.st.IsStore && co.sq.Len() >= co.cfg.SQEntries {
+		return true
+	}
+	if co.cfg.FX {
+		if len(co.ixu[0]) >= co.cfg.FetchWidth {
+			return true // IXU entry stage still occupied (dispatch stalled)
+		}
+	} else if len(co.iq) >= co.cfg.IQEntries {
+		return true
+	}
+	return false
+}
+
 // rename models the rename/allocate stage: RAT lookup, physical register,
 // ROB and LSQ allocation, store-set lookups, and — for FXA — the front-end
 // scoreboard+PRF read and IXU entry (for conventional models, dispatch
@@ -137,43 +170,22 @@ func (co *Core) rename() {
 		if co.cycle < u.fetchCycle+co.frontDepth() {
 			return // still in the decode pipeline
 		}
-		// Structural resources.
-		if co.rob.Len() >= co.cfg.ROBEntries {
-			return
-		}
-		if u.hasDst {
-			if u.dst.File == isa.IntFile {
-				if co.intInUse >= co.cfg.IntPRF-isa.NumIntRegs {
-					return
-				}
-			} else if co.fpInUse >= co.cfg.FPPRF-isa.NumFPRegs {
-				return
-			}
-		}
-		if u.isLoad() && co.lq.Len() >= co.cfg.LQEntries {
-			return
-		}
-		if u.isStore() && co.sq.Len() >= co.cfg.SQEntries {
-			return
-		}
-		if co.cfg.FX {
-			if len(co.ixu[0]) >= co.cfg.FetchWidth {
-				return // IXU entry stage still occupied (dispatch stalled)
-			}
-		} else if len(co.iq) >= co.cfg.IQEntries {
+		if co.renameBlocked(u) {
 			return
 		}
 
 		co.feQueue.PopFront()
+		co.active = true
 		u.renameCycle = co.cycle
 		co.traceStage(u, "Rn")
 
 		// RAT. Each source pointer takes a reference on its producer so
 		// the pool cannot recycle it while this consumer may still read
-		// its timestamps (pool.go).
-		srcs := u.rec.Inst.Srcs(co.srcBuf[:0])
-		co.c.RATReads += uint64(len(srcs))
-		for i, r := range srcs {
+		// its timestamps (pool.go). The architectural sources come from
+		// the decode template stamped at fetch.
+		co.c.RATReads += uint64(u.nsrc)
+		for i := 0; i < u.nsrc; i++ {
+			r := u.st.Srcs[i]
 			p := co.rat[r.File][r.Index]
 			u.srcs[i] = p
 			co.ref(p)
@@ -183,8 +195,7 @@ func (co *Core) rename() {
 		// zero idiom (clr) is performed entirely inside the renamer by
 		// aliasing rd's RAT entry to ra's current producer; the
 		// instruction becomes a completed ROB entry and never executes.
-		if co.cfg.RENO && u.hasDst && u.rec.Inst.Op == isa.OpAddi && u.rec.Inst.Imm == 0 &&
-			u.dst.File == isa.IntFile {
+		if co.cfg.RENO && u.st.RenoCand {
 			u.renoElim = true
 			// The generic RAT lookup above already stored Ra's producer
 			// (or nil for the zero register) in srcs[0] with a reference
@@ -245,7 +256,7 @@ func (co *Core) rename() {
 		// One architectural PRF read per source operand, counted at the
 		// single read point (front end for FXA, issue for conventional;
 		// Section V-B: the counts are the same).
-		co.c.PRFReads += uint64(len(srcs))
+		co.c.PRFReads += uint64(u.nsrc)
 
 		if co.cfg.FX {
 			// Front-end scoreboard read (#1) then PRF read; operands
@@ -337,6 +348,7 @@ func (co *Core) ixuStep() {
 			}
 			if co.tryIXUExec(u, s) {
 				used++
+				co.active = true
 			}
 		}
 	}
@@ -372,6 +384,7 @@ func (co *Core) ixuStep() {
 		drained++
 	}
 	if drained > 0 {
+		co.active = true
 		// In-place compaction: the seed implementation copied the
 		// remainder through a fresh slice (`append(exit[:0:0], ...)`),
 		// one allocation per drain cycle.
@@ -386,6 +399,7 @@ func (co *Core) ixuStep() {
 	for s := nStages - 1; s >= 1; s-- {
 		if len(co.ixu[s]) == 0 && len(co.ixu[s-1]) > 0 {
 			co.ixu[s], co.ixu[s-1] = co.ixu[s-1], co.ixu[s]
+			co.active = true
 			for _, u := range co.ixu[s] {
 				u.ixuStage = s
 				if co.tracer != nil {
@@ -399,11 +413,10 @@ func (co *Core) ixuStep() {
 // tryIXUExec attempts to execute u on an IXU FU at stage s in the current
 // cycle. It returns true when the instruction executed.
 func (co *Core) tryIXUExec(u *uop, s int) bool {
-	in := u.rec.Inst
-	if !in.IXUEligible() {
+	if !u.st.IXUElig {
 		return false
 	}
-	cls := in.Op.Class()
+	cls := u.st.Cls
 	if cls == isa.ClassLoad || cls == isa.ClassStore {
 		// Resource arbitration with the OXU for LSQ/L1D ports; the OXU
 		// has priority (Section II-D3).
@@ -424,7 +437,7 @@ func (co *Core) tryIXUExec(u *uop, s int) bool {
 	u.executed = true
 	u.executedInIXU = true
 	u.execCycle = co.cycle
-	lat := int64(in.Op.Latency())
+	lat := u.st.Lat
 	switch cls {
 	case isa.ClassLoad:
 		co.memPortsThisCycle++
@@ -447,7 +460,7 @@ func (co *Core) tryIXUExec(u *uop, s int) bool {
 			co.captureBypass(u, s)
 		}
 	}
-	if u.rec.Inst.IsBranch() && u.mispredict {
+	if u.st.IsBranch && u.mispredict {
 		co.c.MispredResolvedIXU++
 		co.resolveMispredict(u, co.cycle+1, true)
 	}

@@ -164,11 +164,18 @@ func TestFuzzAllModelsMatchEmulator(t *testing.T) {
 // LQ/SQ squashes, squashes of RENO-eliminated moves, and flushes landing
 // while fetch is blocked on an unresolved branch. Returns the drained core
 // (for leakCheck), the result, and the number of flushes injected.
-func runWithInjectedFlushes(m config.Model, prog *asm.Program, flushSeed int64, spacing int) (*Core, Result, int, error) {
+//
+// skip selects idle-cycle skipping. The injection points are keyed on
+// co.cycle and the hook only fires on iterated cycles, so skip-on and
+// skip-off runs inject at different points — this harness checks the
+// architectural invariants of each mode independently, not bit-identity
+// (see runWithCommitKeyedFlushes in skip_test.go for that).
+func runWithInjectedFlushes(m config.Model, prog *asm.Program, flushSeed int64, spacing int, skip bool) (*Core, Result, int, error) {
 	co, err := New(m, emu.NewStream(emu.New(prog), 0))
 	if err != nil {
 		return nil, Result{}, 0, err
 	}
+	co.SetIdleSkip(skip)
 	r := rand.New(rand.NewSource(flushSeed))
 	const maxInjected = 50
 	injected := 0
@@ -246,16 +253,18 @@ func TestFuzzRandomFlush(t *testing.T) {
 			t.Fatalf("seed %d emulate: %v (halt=%v)", progSeed, err, golden.Halt)
 		}
 		for variant := uint8(0); variant < 5; variant++ {
-			m := flushFuzzModel(variant)
-			label := fmt.Sprintf("seed %d on %s", progSeed, m.Name)
-			co, res, injected, err := runWithInjectedFlushes(m, prog, progSeed*31+int64(variant), 24)
-			if err != nil {
-				t.Fatalf("%s: %v", label, err)
+			for _, skip := range []bool{true, false} {
+				m := flushFuzzModel(variant)
+				label := fmt.Sprintf("seed %d on %s skip=%v", progSeed, m.Name, skip)
+				co, res, injected, err := runWithInjectedFlushes(m, prog, progSeed*31+int64(variant), 24, skip)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if injected == 0 {
+					t.Errorf("%s: no flushes injected (scenario vacuous)", label)
+				}
+				checkFlushRun(t, label, co, res, want)
 			}
-			if injected == 0 {
-				t.Errorf("%s: no flushes injected (scenario vacuous)", label)
-			}
-			checkFlushRun(t, label, co, res, want)
 		}
 	}
 }
@@ -264,12 +273,16 @@ func TestFuzzRandomFlush(t *testing.T) {
 // seed, flush spacing, model variant). The corpus seeds pin the scenarios
 // from the issue: a mid-IXU squash (FX model, tight spacing), an LQ/SQ
 // partial squash (plain OoO, mid spacing), MSHR exhaustion (single-MSHR
-// core), and a RENO-eliminated-move squash.
+// core), and a RENO-eliminated-move squash. The variant byte's high bit
+// selects idle-cycle skipping off (clear = on, matching production), so
+// the fuzzer explores flushes landing right after skip jumps and the
+// plain iterated loop from the same corpus.
 func FuzzRandomFlush(f *testing.F) {
-	f.Add(int64(3), int64(7), uint8(16), uint8(2))     // mid-IXU squash
-	f.Add(int64(1234), int64(99), uint8(48), uint8(0)) // LQ/SQ partial squash
-	f.Add(int64(42), int64(5), uint8(24), uint8(3))    // MSHR exhaustion + flush
-	f.Add(int64(7), int64(11), uint8(20), uint8(4))    // RENO squash
+	f.Add(int64(3), int64(7), uint8(16), uint8(2))       // mid-IXU squash
+	f.Add(int64(1234), int64(99), uint8(48), uint8(0))   // LQ/SQ partial squash
+	f.Add(int64(42), int64(5), uint8(24), uint8(3))      // MSHR exhaustion + flush
+	f.Add(int64(7), int64(11), uint8(20), uint8(4))      // RENO squash
+	f.Add(int64(42), int64(5), uint8(24), uint8(3|0x80)) // single MSHR, skipping off
 	f.Fuzz(func(t *testing.T, progSeed, flushSeed int64, spacing, variant uint8) {
 		src := generate(progSeed, 60, 30)
 		prog, err := asm.Assemble(src)
@@ -282,8 +295,9 @@ func FuzzRandomFlush(f *testing.F) {
 			t.Skip("generated program did not terminate in budget")
 		}
 		sp := 16 + int(spacing)%112
-		m := flushFuzzModel(variant)
-		co, res, _, err := runWithInjectedFlushes(m, prog, flushSeed, sp)
+		skip := variant&0x80 == 0
+		m := flushFuzzModel(variant & 0x7f)
+		co, res, _, err := runWithInjectedFlushes(m, prog, flushSeed, sp, skip)
 		if err != nil {
 			t.Fatal(err)
 		}

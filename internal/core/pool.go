@@ -40,7 +40,9 @@ import (
 
 // allocUop takes a uop from the pool (or the heap when the pool is empty)
 // and initializes it from a trace record at fetch time, holding the
-// pipeline-residency reference.
+// pipeline-residency reference. Static decode metadata is a template
+// stamp from the per-PC decode cache; only the dynamic fields are set
+// here.
 func (co *Core) allocUop(rec emu.Record, cycle int64) *uop {
 	var u *uop
 	if n := len(co.pool); n > 0 {
@@ -53,6 +55,8 @@ func (co *Core) allocUop(rec emu.Record, cycle int64) *uop {
 	}
 	co.uopLive++
 
+	st := co.dec.Lookup(rec.PC, rec.Inst)
+	u.st = *st
 	u.rec = rec
 	u.fetchCycle = cycle
 	u.renameCycle = farFuture
@@ -63,13 +67,11 @@ func (co *Core) allocUop(rec emu.Record, cycle int64) *uop {
 	u.lqIdx = -1
 	u.sqIdx = -1
 	u.robIdx = -1
-	u.nsrc = len(rec.Inst.Srcs(co.srcBuf[:0]))
+	u.nsrc = int(st.NSrc)
 	for i := range u.srcAvail {
 		u.srcAvail[i] = farFuture
 	}
-	if dst, ok := rec.Inst.Dst(); ok {
-		u.dst, u.hasDst = dst, true
-	}
+	u.dst, u.hasDst = st.Dst, st.HasDst
 	u.ea = rec.EA
 	u.refs = 1 // pipeline residency
 	return u

@@ -1,0 +1,202 @@
+package core
+
+// Event-driven idle-cycle skipping (DESIGN.md §8.8).
+//
+// When a cycle ends with no stage having changed state (co.active stayed
+// false), nextEvent derives — from the end-of-cycle machine state alone —
+// a conservative lower bound E on the first future cycle at which any
+// stage can change state, and Step advances co.cycle to E-1 so the next
+// iteration ticks into E. The bound being a *lower* bound is the entire
+// safety argument: waking too early just re-evaluates an idle cycle (and
+// idle cycles are side-effect-free), while waking late would let the skip
+// path diverge from the tick path. Candidates the scan cannot bound
+// cheaply are omitted only when the wake-up is itself another enumerated
+// event (a producer executing, a structural resource freeing), so the
+// transitive closure of enumerated events covers every state transition.
+//
+// co.active is a pure CPU-cost gate, not a correctness input: nextEvent
+// is computed fresh from post-cycle state, so a stage that forgot to set
+// the flag could at worst trigger a redundant scan, never a wrong bound.
+
+// idleJump returns how many cycles the simulation may advance without
+// iterating: 0 when the next cycle needs a full iteration, otherwise a
+// jump clamped to the Step budget and the watchdog deadline (a wedged
+// model must fail at the same cycle in skip and tick mode).
+func (co *Core) idleJump(budget int64) int64 {
+	if budget <= 0 {
+		return 0
+	}
+	j := co.nextEvent() - 1 - co.cycle
+	if j <= 0 {
+		return 0
+	}
+	if j > budget {
+		j = budget
+	}
+	if d := co.wd.Deadline() - co.cycle; j > d {
+		j = d
+	}
+	return j
+}
+
+// nextEvent returns a conservative lower bound on the earliest future
+// cycle at which any pipeline stage can change state. Candidates at or
+// before the current cycle mean "retry next cycle" (ready but
+// structurally blocked) and clamp to cycle+1.
+func (co *Core) nextEvent() int64 {
+	e := int64(farFuture)
+	ev := func(c int64) {
+		if c <= co.cycle {
+			c = co.cycle + 1
+		}
+		if c < e {
+			e = c
+		}
+	}
+
+	// Commit: the ROB head retires once its result (and, for IXU
+	// results, its PRF write at IXU exit) has landed. An unexecuted head
+	// wakes through its own execution event below; an executed-in-IXU
+	// head still inside the IXU has prfCycle=farFuture and wakes through
+	// the IXU drain events.
+	if co.rob.Len() > 0 {
+		if u := co.rob.At(0); u.executed {
+			c := u.resultCycle
+			if u.executedInIXU && u.prfCycle > c {
+				c = u.prfCycle
+			}
+			if c < farFuture {
+				ev(c)
+			}
+		}
+	}
+
+	// OXU select: per-entry earliest-issue bound — dispatch depth, source
+	// availability, and the first cycle any FU of the class frees up.
+	// Entries waiting on a producer that has not executed (availToOXU is
+	// farFuture) or on an unexecuted store-set dependence are omitted:
+	// they wake through that producer's own event.
+	for _, u := range co.iq {
+		c := u.dispatchCycle + minIssueDelay
+		blocked := false
+		for i := 0; i < u.nsrc; i++ {
+			if p := u.srcs[i]; p != nil {
+				a := p.availToOXU()
+				if a >= farFuture {
+					blocked = true
+					break
+				}
+				if a > c {
+					c = a
+				}
+			}
+		}
+		if blocked {
+			continue
+		}
+		if u.depStore != nil && !u.depStore.executed {
+			continue
+		}
+		pool := co.fuPool(u.st.Cls)
+		fuFree := pool[0]
+		for _, busy := range pool[1:] {
+			if busy < fuFree {
+				fuFree = busy
+			}
+		}
+		if fuFree > c {
+			c = fuFree
+		}
+		ev(c)
+	}
+
+	if co.cfg.FX {
+		co.ixuNextEvent(ev)
+	}
+
+	// Rename: the front-end queue head leaves the decode pipeline at a
+	// fixed delay. Once delay-eligible but structurally blocked, the
+	// unblocking commit/issue/drain is itself an enumerated event, so no
+	// candidate is needed; an eligible unblocked head renames next cycle
+	// (it only failed this cycle on rename width).
+	if co.feQueue.Len() > 0 {
+		u := co.feQueue.At(0)
+		if c := u.fetchCycle + co.frontDepth(); c > co.cycle {
+			ev(c)
+		} else if !co.renameBlocked(u) {
+			ev(co.cycle + 1)
+		}
+	}
+
+	// Fetch: gated by an unresolved mispredicted branch (resolution is an
+	// execution event) or by queue space (a rename event); otherwise the
+	// I-cache refill / redirect time.
+	if co.blockingBr == nil && co.feQueue.Len() < co.feCap() &&
+		(co.hasPending || co.replayHead < len(co.replay) || !co.tr.Done()) {
+		ev(co.fetchStall)
+	}
+
+	return e
+}
+
+// ixuNextEvent reports the IXU's event candidates: pending result
+// broadcasts, exit-stage drains, pipeline shifts, and per-instruction
+// execution readiness.
+func (co *Core) ixuNextEvent(ev func(int64)) {
+	nStages := len(co.ixu)
+
+	// Exit-stage drain: executed results always leave next cycle;
+	// unexecuted instructions dispatch in order as soon as the IQ has
+	// room (an IQ that is full empties through issue events).
+	if exit := co.ixu[nStages-1]; len(exit) > 0 {
+		if exit[0].executedInIXU || len(co.iq) < co.cfg.IQEntries {
+			ev(co.cycle + 1)
+		}
+	}
+
+	// A shift into a free stage is an event (uops advance one stage per
+	// cycle toward the exit; holes persist until they reach it).
+	for s := 1; s < nStages; s++ {
+		if len(co.ixu[s]) == 0 && len(co.ixu[s-1]) > 0 {
+			ev(co.cycle + 1)
+			break
+		}
+	}
+
+	for s := range co.ixu {
+		for _, u := range co.ixu[s] {
+			if u.executedInIXU {
+				// Pending bypass broadcast / PRF-write visibility: the
+				// bypass pass latches consumers once resultCycle
+				// arrives, so never skip past it.
+				ev(u.resultCycle)
+				continue
+			}
+			if !u.st.IXUElig {
+				continue // flows through unexecuted; drain/shift covers it
+			}
+			if u.depStore != nil && !u.depStore.executed {
+				continue // wakes when the store executes
+			}
+			w := co.cycle // zero-source instructions are always ready
+			blocked := false
+			for i := 0; i < u.nsrc; i++ {
+				a := u.srcAvail[i]
+				if a >= farFuture {
+					// Not reachable over the bypass network (yet): it
+					// either latches when the producer executes — that
+					// producer's own event — or flows through
+					// unexecuted, covered by drain/shift.
+					blocked = true
+					break
+				}
+				if a > w {
+					w = a
+				}
+			}
+			if !blocked {
+				ev(w) // ready-but-contended clamps to cycle+1
+			}
+		}
+	}
+}

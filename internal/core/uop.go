@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"fxa/internal/decodecache"
 	"fxa/internal/emu"
 	"fxa/internal/isa"
 )
@@ -17,6 +18,12 @@ const farFuture = math.MaxInt64 / 4
 // the pipeline instance.
 type uop struct {
 	rec emu.Record
+
+	// st is the static decode template stamped at fetch (Core.dec): the
+	// per-static-instruction metadata — register template, FU class and
+	// latency, branch kind — that the seed implementation re-derived from
+	// rec.Inst for every dynamic instance.
+	st decodecache.Static
 
 	// Dependencies. srcs[i] is the in-flight producer of the i-th source
 	// operand, or nil when the value comes from architectural state that
@@ -83,8 +90,8 @@ type uop struct {
 	refs int32
 }
 
-func (u *uop) isLoad() bool  { return u.rec.Inst.Op.Class() == isa.ClassLoad }
-func (u *uop) isStore() bool { return u.rec.Inst.Op.Class() == isa.ClassStore }
+func (u *uop) isLoad() bool  { return u.st.IsLoad }
+func (u *uop) isStore() bool { return u.st.IsStore }
 
 // resultAvailableTo reports the cycle from which a consumer in the OXU can
 // use this producer's result: bypass availability for OXU-executed
@@ -100,7 +107,7 @@ func (u *uop) availToOXU() int64 {
 
 // uop construction lives in pool.go (Core.allocUop): instances are
 // recycled through a per-core free list, so building one must not
-// allocate. The renamer recomputes architectural source registers into the
-// core-owned scratch buffer (Core.srcBuf) for the same reason — the
-// obvious `buf [3]isa.Reg; return in.Srcs(buf[:0])` helper escapes to the
-// heap once per call.
+// allocate. The architectural register template — along with every other
+// static fact about the instruction — comes pre-derived from the per-PC
+// decode cache (internal/decodecache) and is stamped onto the uop in one
+// struct copy.

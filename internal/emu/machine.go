@@ -420,3 +420,8 @@ func (s *Stream) NextBatch(buf []Record) int {
 
 // Err reports a decode/execution error that terminated the stream, if any.
 func (s *Stream) Err() error { return s.err }
+
+// CodeGen reports the backing machine's code-write generation
+// (engine.CodeGenTrace): timing engines probe for it to invalidate their
+// per-PC static decode caches when self-modifying code rewrites a page.
+func (s *Stream) CodeGen() uint64 { return s.M.CodeGen() }

@@ -84,6 +84,13 @@ func (m *Machine) lookupInst(pc uint64) (isa.Inst, bool) {
 	return in, in.Op != invalidOp
 }
 
+// CodeGen returns the machine's code-write generation: a counter bumped
+// whenever a store invalidates a predecode table. Consumers that memoize
+// per-PC decode metadata (the timing cores' static decode caches) compare
+// it between steps and drop their tables on a change, mirroring the
+// predecode invalidation protocol without needing their own write hook.
+func (m *Machine) CodeGen() uint64 { return m.predGen }
+
 // invalidateCode is the Memory code-write hook: a write landed in page
 // key after a predecode table was built from it. Drop this machine's
 // table (a fresh one is rebuilt from the new bytes on next execution) and

@@ -1,0 +1,26 @@
+package engine
+
+import "sync/atomic"
+
+// Idle-cycle skipping: the timing cores compute a conservative next-event
+// cycle when a cycle ends with no state transition possible, and advance
+// their cycle counter directly to it instead of ticking empty iterations.
+// The skip path is bit-identical to the tick path by construction (see
+// DESIGN.md §8.8 and the differential suite in the root package), so the
+// toggle exists only for that differential proof and for debugging — it is
+// not a fidelity knob and deliberately lives outside config.Model, whose
+// fields fingerprint sweep-cache entries.
+//
+// The default is on. Cores read the flag once at construction; flipping it
+// mid-run affects only engines built afterwards (plus any per-core
+// override the core exposes).
+
+// idleSkipOff stores the inverted flag so the zero value means "on".
+var idleSkipOff atomic.Bool
+
+// SetIdleSkip sets the process-wide default for event-driven idle-cycle
+// skipping in the timing cores. Results are bit-identical either way.
+func SetIdleSkip(on bool) { idleSkipOff.Store(!on) }
+
+// IdleSkip reports the process-wide default skip setting.
+func IdleSkip() bool { return !idleSkipOff.Load() }

@@ -21,6 +21,18 @@ type BatchTrace interface {
 	NextBatch(buf []emu.Record) int
 }
 
+// CodeGenTrace is an optional extension of Trace for traces backed by a
+// machine that can report code-write generations (emu.Stream). CodeGen
+// returns a counter that increases whenever a store lands in a page that
+// instructions were previously fetched from; timing engines that memoize
+// per-PC decode metadata compare it between Step slices and drop their
+// tables on a change. The generation is a hygiene signal, not a
+// correctness requirement — engines must still validate each cached
+// entry against the record's authoritative Inst.
+type CodeGenTrace interface {
+	CodeGen() uint64
+}
+
 // TraceBatch is the refill size used when the trace supports batching:
 // large enough to amortize the interface call, small enough that the
 // buffer stays resident in L1 (64 records × 32 B = 2 KiB).

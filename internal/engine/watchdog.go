@@ -27,6 +27,12 @@ func (w *Watchdog) Progress(cycle int64) { w.last = cycle }
 // since the last progress report.
 func (w *Watchdog) Stuck(cycle int64) bool { return cycle-w.last > DeadlockWindow }
 
+// Deadline returns the last cycle the simulation may reach without
+// tripping Stuck. Event-driven engines clamp idle-cycle jumps to it so a
+// wedged model fails at exactly the same cycle whether the idle span was
+// skipped or ticked through.
+func (w *Watchdog) Deadline() int64 { return w.last + DeadlockWindow }
+
 // Fail formats the shared watchdog error. detail carries the core's
 // structure occupancies (e.g. "rob=12 iq=3 fe=0") so the report names
 // where the pipeline wedged.

@@ -10,9 +10,11 @@ package inorder
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"fxa/internal/bpred"
 	"fxa/internal/config"
+	"fxa/internal/decodecache"
 	"fxa/internal/emu"
 	"fxa/internal/engine"
 	"fxa/internal/isa"
@@ -25,8 +27,20 @@ import (
 // penalty.
 const issueDepth = 2
 
+// farFuture marks a cycle that never arrives (no event candidate found).
+const farFuture = math.MaxInt64 / 4
+
+// capQ is the fetch-queue capacity (shared between fetch and nextEvent).
+func (co *Core) capQ() int {
+	return (co.cfg.FrontendDepth + issueDepth + 2) * co.cfg.FetchWidth
+}
+
 type iuop struct {
-	rec        emu.Record
+	rec emu.Record
+	// st is the static decode template stamped at fetch from the per-PC
+	// decode cache; issue reads register/class/latency facts from it
+	// instead of re-deriving them from rec.Inst every attempt.
+	st         decodecache.Static
 	fetchCycle int64
 	mispredict bool
 }
@@ -62,6 +76,21 @@ type Core struct {
 
 	memPortsThisCycle int
 	lastDone          int64
+
+	// dec is the per-PC static decode cache; lastGen tracks the trace
+	// code generation (self-modifying code invalidates the cache — each
+	// slot is still validated against the record's authoritative Inst).
+	dec     decodecache.Cache
+	codeGen engine.CodeGenTrace
+	lastGen uint64
+
+	// Idle-cycle skipping (see Step): when a cycle ends without any
+	// pipeline transition, jump directly to the next cycle at which one
+	// can occur instead of iterating the gap.
+	skipIdle      bool
+	active        bool
+	skippedCycles int64
+	skipSpans     int64
 }
 
 // init registers the in-order core with the engine layer, so any package
@@ -90,8 +119,22 @@ func New(cfg config.Model, trace engine.Trace) (*Core, error) {
 		fpFU:  make([]int64, cfg.FPFUs),
 	}
 	co.tr = engine.NewTraceReader(trace)
+	co.skipIdle = engine.IdleSkip()
+	if g, ok := trace.(engine.CodeGenTrace); ok {
+		co.codeGen = g
+		co.lastGen = g.CodeGen()
+	}
 	return co, nil
 }
+
+// SetIdleSkip overrides the process-wide engine.IdleSkip default for this
+// core (testing support for differential skip-on/skip-off runs).
+func (co *Core) SetIdleSkip(on bool) { co.skipIdle = on }
+
+// SkipStats reports how many cycles were skipped rather than iterated and
+// across how many idle spans. Deliberately not part of stats.Counters:
+// results must be bit-identical with skipping on and off.
+func (co *Core) SkipStats() (cycles, spans int64) { return co.skippedCycles, co.skipSpans }
 
 // Run simulates to completion and returns the collected statistics. It
 // delegates to engine.Drive, so cancelling ctx interrupts the run within
@@ -101,10 +144,25 @@ func (co *Core) Run(ctx context.Context) (engine.Result, error) {
 }
 
 // Step advances the simulation by at most nCycles cycles (engine.Engine).
+//
+// When idle-cycle skipping is enabled and a cycle ends without any
+// pipeline transition (nothing fetched, nothing issued), the loop advances
+// co.cycle directly to just before the next cycle at which a transition is
+// possible (see nextEvent) instead of iterating the gap one side-effect-
+// free cycle at a time. The jump is clamped to the step budget and the
+// watchdog deadline, so Drive's interval cadence and deadlock detection
+// observe exactly the cycles they would have without skipping.
 func (co *Core) Step(nCycles int64) (bool, error) {
+	if co.codeGen != nil {
+		if g := co.codeGen.CodeGen(); g != co.lastGen {
+			co.lastGen = g
+			co.dec.Invalidate()
+		}
+	}
 	for n := int64(0); n < nCycles; n++ {
 		co.cycle++
 		co.memPortsThisCycle = 0
+		co.active = false
 		co.issue()
 		co.fetch()
 		if co.tr.Done() && len(co.queue) == 0 && co.pending == nil {
@@ -112,6 +170,14 @@ func (co *Core) Step(nCycles int64) (bool, error) {
 		}
 		if co.wd.Stuck(co.cycle) {
 			return false, co.wd.Fail(co.cfg.Name, co.cycle, fmt.Sprintf("queue=%d", len(co.queue)))
+		}
+		if co.skipIdle && !co.active {
+			if j := co.idleJump(nCycles - 1 - n); j > 0 {
+				co.cycle += j
+				n += j
+				co.skippedCycles += j
+				co.skipSpans++
+			}
 		}
 	}
 	return false, nil
@@ -171,12 +237,13 @@ func (co *Core) fetch() {
 	if co.blocked || co.cycle < co.fetchStall {
 		return
 	}
-	capQ := (co.cfg.FrontendDepth + issueDepth + 2) * co.cfg.FetchWidth
+	capQ := co.capQ()
 	for n := 0; n < co.cfg.FetchWidth && len(co.queue) < capQ; n++ {
 		rec, ok := co.nextRec()
 		if !ok {
 			return
 		}
+		co.active = true
 		line := rec.PC >> lineShift
 		if line+1 != co.lastLine {
 			lat := co.mem.InstFetch(rec.PC)
@@ -190,23 +257,23 @@ func (co *Core) fetch() {
 			}
 		}
 		u := &iuop{rec: rec, fetchCycle: co.cycle}
-		in := rec.Inst
-		if in.IsBranch() {
+		u.st = *co.dec.Lookup(rec.PC, rec.Inst)
+		if u.st.IsBranch {
 			co.c.Branches++
 			mispred := false
 			switch {
-			case in.IsCondBranch():
+			case u.st.IsCond:
 				_, correct := co.bp.PredictConditional(rec.PC, rec.Taken)
 				mispred = !correct
 				if rec.Taken && !mispred && !co.bp.PredictTarget(rec.PC, rec.NextPC) {
 					co.fetchStall = co.cycle + 2
 				}
-			case in.Op == isa.OpBr:
+			case u.st.IsUncond:
 				if !co.bp.PredictTarget(rec.PC, rec.NextPC) {
 					co.fetchStall = co.cycle + 2
 				}
 			default: // indirect jump: returns via RAS, calls via BTB
-				if rec.Inst.Op == isa.OpJmp && rec.Inst.Rd == isa.ZeroReg {
+				if u.st.IsReturn {
 					if !co.bp.Return(rec.PC, rec.NextPC) {
 						mispred = true
 					}
@@ -243,32 +310,21 @@ func (co *Core) issue() {
 		if co.cycle < u.fetchCycle+int64(co.cfg.FrontendDepth)+issueDepth {
 			return
 		}
-		in := u.rec.Inst
-		cls := in.Op.Class()
+		cls := u.st.Cls
 
 		// RAW: all sources ready.
-		var buf [3]isa.Reg
-		srcs := in.Srcs(buf[:0])
-		for _, r := range srcs {
+		for _, r := range u.st.Srcs[:u.st.NSrc] {
 			if co.regReady[r.File][r.Index] > co.cycle {
 				return
 			}
 		}
 		// WAW interlock: pending write to the destination must complete.
-		dst, hasDst := in.Dst()
+		dst, hasDst := u.st.Dst, u.st.HasDst
 		if hasDst && co.regReady[dst.File][dst.Index] > co.cycle {
 			return
 		}
 		// Structural: FU availability.
-		var pool []int64
-		switch cls {
-		case isa.ClassLoad, isa.ClassStore:
-			pool = co.memFU
-		case isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv:
-			pool = co.fpFU
-		default:
-			pool = co.intFU
-		}
+		pool := co.fuPool(cls)
 		fu := -1
 		for i, busy := range pool {
 			if busy <= co.cycle {
@@ -279,17 +335,18 @@ func (co *Core) issue() {
 		if fu < 0 {
 			return
 		}
-		if in.IsMem() && co.memPortsThisCycle >= co.cfg.MemFUs {
+		if (u.st.IsLoad || u.st.IsStore) && co.memPortsThisCycle >= co.cfg.MemFUs {
 			return
 		}
 
 		// Issue.
 		co.queue = co.queue[1:]
 		issued++
+		co.active = true
 		co.wd.Progress(co.cycle)
-		lat := int64(in.Op.Latency())
+		lat := u.st.Lat
 		occupancy := int64(1)
-		if cls == isa.ClassIntDiv || cls == isa.ClassFPDiv {
+		if u.st.Unpipelined {
 			occupancy = lat
 		}
 		pool[fu] = co.cycle + occupancy
@@ -308,7 +365,7 @@ func (co *Core) issue() {
 			co.regReady[dst.File][dst.Index] = done
 			co.c.PRFWrites++
 		}
-		co.c.PRFReads += uint64(len(srcs))
+		co.c.PRFReads += uint64(u.st.NSrc)
 		co.c.FUOps[cls]++
 		if done > co.lastDone {
 			co.lastDone = done

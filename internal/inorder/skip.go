@@ -1,0 +1,109 @@
+package inorder
+
+import "fxa/internal/isa"
+
+// Idle-cycle skipping for the in-order core.
+//
+// An idle cycle — one in which issue() stalls on the head of the queue and
+// fetch() cannot insert anything — mutates no simulator state other than
+// co.cycle itself, so iterating it is pure overhead. idleJump computes a
+// conservative lower bound on the next cycle at which a transition is
+// possible and advances time directly to just before it. The bound may be
+// loose (a wasted wake re-evaluates and advances by at least one cycle);
+// it must never be late, or skip-on and skip-off runs would diverge. The
+// differential suite at the repo root proves bit-identity over every model
+// and kernel.
+
+// fuPool maps an instruction class to the functional-unit busy-until pool
+// serving it (shared between issue and nextEvent).
+func (co *Core) fuPool(cls isa.Class) []int64 {
+	switch cls {
+	case isa.ClassLoad, isa.ClassStore:
+		return co.memFU
+	case isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv:
+		return co.fpFU
+	default:
+		return co.intFU
+	}
+}
+
+// idleJump returns how many cycles beyond co.cycle can be skipped without
+// missing a transition, clamped to the remaining step budget and the
+// watchdog deadline (so a real deadlock still fails at the identical
+// cycle). Returns 0 when the next event is already due.
+func (co *Core) idleJump(budget int64) int64 {
+	if budget <= 0 {
+		return 0
+	}
+	j := co.nextEvent() - 1 - co.cycle
+	if j <= 0 {
+		return 0
+	}
+	if j > budget {
+		j = budget
+	}
+	if d := co.wd.Deadline() - co.cycle; j > d {
+		j = d
+	}
+	return j
+}
+
+// nextEvent returns a conservative lower bound on the earliest cycle >
+// co.cycle at which the pipeline can transition. Exactly two things can
+// happen in a cycle — the queue head issues, or fetch inserts — so two
+// candidate families cover every transition:
+//
+//   - queue head: ready no earlier than the decode-to-issue depth gate,
+//     every source and the destination scoreboard entry, and the first
+//     functional unit in its class pool to free up. All of these are
+//     finite absolute cycles. (The per-cycle memory-port limit needs no
+//     candidate: memPortsThisCycle > 0 implies an issue happened this
+//     cycle, which marked the cycle active.)
+//   - fetch: blocked on nothing but the I-cache/redirect stall, provided
+//     the queue has room (otherwise the head-issue candidate covers the
+//     slot freeing) and there is anything left to fetch. A core blocked
+//     on an unresolved mispredict resumes via the head-issue path too.
+func (co *Core) nextEvent() int64 {
+	e := int64(farFuture)
+	ev := func(c int64) {
+		if c <= co.cycle {
+			c = co.cycle + 1
+		}
+		if c < e {
+			e = c
+		}
+	}
+
+	if len(co.queue) > 0 {
+		u := co.queue[0]
+		c := u.fetchCycle + int64(co.cfg.FrontendDepth) + issueDepth
+		for _, r := range u.st.Srcs[:u.st.NSrc] {
+			if rc := co.regReady[r.File][r.Index]; rc > c {
+				c = rc
+			}
+		}
+		if u.st.HasDst {
+			if rc := co.regReady[u.st.Dst.File][u.st.Dst.Index]; rc > c {
+				c = rc
+			}
+		}
+		pool := co.fuPool(u.st.Cls)
+		free := pool[0]
+		for _, busy := range pool[1:] {
+			if busy < free {
+				free = busy
+			}
+		}
+		if free > c {
+			c = free
+		}
+		ev(c)
+	}
+
+	if !co.blocked && len(co.queue) < co.capQ() &&
+		(co.pending != nil || !co.tr.Done()) {
+		ev(co.fetchStall)
+	}
+
+	return e
+}

@@ -129,7 +129,7 @@ type GateResult struct {
 // (ns/op, ns/inst, B/op, allocs/op, ...) is lower-is-better.
 func higherBetter(unit string) bool {
 	switch unit {
-	case "MB/s", "Minst/s", "ff-Minst/s", "insts/s":
+	case "MB/s", "Minst/s", "det-Minst/s", "ff-Minst/s", "insts/s":
 		return true
 	}
 	return false

@@ -29,6 +29,15 @@ type Stats struct {
 	Allocs     uint64
 	AllocBytes uint64
 
+	// DetailedTime is the wall time spent inside detailed (cycle-level)
+	// simulation, summed over the jobs that actually ran — cache hits and
+	// singleflight followers contribute nothing, and with several workers
+	// the sum exceeds Wall. Against SimInsts it yields the detailed-phase
+	// throughput proper (DetailedInstsPerSec), which Wall-based InstsPerSec
+	// understates whenever the run was padded by cache lookups, event
+	// delivery, or idle workers.
+	DetailedTime time.Duration
+
 	// FFInsts and FFTime account the functional fast-forward that fed
 	// the sweep, when the caller did any (sampled simulation advances a
 	// functional machine serially between detailed windows; see
@@ -56,6 +65,18 @@ func (s Stats) InstsPerSec() float64 {
 		return 0
 	}
 	return float64(s.SimInsts) / s.Wall.Seconds()
+}
+
+// DetailedInstsPerSec returns the detailed-simulation throughput in
+// committed instructions per second of accumulated detailed-phase time
+// (0 when nothing ran). This is per-core throughput summed over workers'
+// busy time, not wall-clock aggregate: a single-worker run reports the
+// same number a saturated pool does.
+func (s Stats) DetailedInstsPerSec() float64 {
+	if s.DetailedTime <= 0 {
+		return 0
+	}
+	return float64(s.SimInsts) / s.DetailedTime.Seconds()
 }
 
 // FFInstsPerSec returns the functional fast-forward throughput in
@@ -89,6 +110,9 @@ func (s Stats) BenchMetrics() []BenchMetric {
 	if s.SimInsts > 0 && s.Wall > 0 {
 		m = append(m, BenchMetric{s.InstsPerSec() / 1e6, "Minst/s"})
 	}
+	if s.SimInsts > 0 && s.DetailedTime > 0 {
+		m = append(m, BenchMetric{s.DetailedInstsPerSec() / 1e6, "det-Minst/s"})
+	}
 	if s.SimInsts > 0 && s.Allocs > 0 {
 		m = append(m, BenchMetric{s.AllocsPerKInst(), "allocs/Kinst"})
 	}
@@ -112,6 +136,9 @@ func (s Stats) String() string {
 	}
 	line += fmt.Sprintf(", %.1f Minst, %.1f Minst/s",
 		float64(s.SimInsts)/1e6, s.InstsPerSec()/1e6)
+	if s.DetailedTime > 0 && s.SimInsts > 0 {
+		line += fmt.Sprintf(", det %.1f Minst/s", s.DetailedInstsPerSec()/1e6)
+	}
 	if s.Allocs > 0 && s.SimInsts > 0 {
 		line += fmt.Sprintf(", %.1f allocs/Kinst", s.AllocsPerKInst())
 	}

@@ -180,6 +180,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats,
 
 	var completed atomic.Int64
 	var ran, cacheHits, cacheMisses, collapsed, simInsts, simCycles atomic.Uint64
+	var detailedNanos atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -189,7 +190,9 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats,
 				job := &jobs[i]
 				events <- Event{Kind: EventStart, JobIndex: i, Label: job.Label,
 					Done: int(completed.Load()), Total: len(jobs)}
+				t0 := time.Now()
 				res, hit, shared, err := runOne(runCtx, job, opts.Cache)
+				elapsed := time.Since(t0)
 				if err == nil {
 					switch {
 					case hit:
@@ -201,6 +204,9 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats,
 						ran.Add(1)
 						simInsts.Add(res.Counters.Committed)
 						simCycles.Add(res.Counters.Cycles)
+						// Only the leader's time is detailed simulation;
+						// followers and cache hits just waited or read.
+						detailedNanos.Add(int64(elapsed))
 					}
 				}
 				results[i], hits[i], errs[i] = res, hit || shared, err
@@ -223,6 +229,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]engine.Result, Stats,
 	stats.Collapsed = int(collapsed.Load())
 	stats.SimInsts = simInsts.Load()
 	stats.SimCycles = simCycles.Load()
+	stats.DetailedTime = time.Duration(detailedNanos.Load())
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
 	stats.Allocs = memAfter.Mallocs - memBefore.Mallocs
