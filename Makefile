@@ -38,10 +38,11 @@ GO ?= go
 # Packages with real concurrency: the sweep engine, the sampling harness
 # that parallelizes detailed windows through it, the emulator whose
 # copy-on-write clones execute on other goroutines, and the serving
-# fabric that multiplexes concurrent tenants onto the sweep path. (The
-# root package's multi-worker determinism tests run under race in
-# race-full.)
-RACE_PKGS = ./internal/sweep ./internal/sampling ./internal/emu ./internal/serve
+# fabric that multiplexes concurrent tenants onto the sweep path. The
+# shared pipeline stage library rides along because every core built on
+# it runs on sweep worker goroutines. (The root package's multi-worker
+# determinism tests run under race in race-full.)
+RACE_PKGS = ./internal/sweep ./internal/sampling ./internal/emu ./internal/serve ./internal/pipeline
 
 # Perfgate knobs (override on the command line, e.g.
 # `make bench-gate PERFGATE_BENCHOUT=bench-raw.txt`).

@@ -110,6 +110,7 @@ import (
 
 	"fxa"
 	"fxa/internal/energy"
+	"fxa/internal/engine"
 	"fxa/internal/report"
 	"fxa/internal/serve"
 )
@@ -142,6 +143,31 @@ var validExperiments = []string{
 // works for the single-run -intervals mode).
 var validFormats = []string{"text", "csv", "markdown"}
 
+// printModels renders the full model catalog (-list-models): every named
+// model across all core kinds, with its registry status. The first five
+// are the paper's evaluation set; the rest are usable through -model and
+// the public API but excluded from the figure sweeps.
+func printModels(w io.Writer) {
+	t := &report.Table{
+		Title:   "models",
+		Headers: []string{"model", "kind", "fetch", "issue", "FX", "registered"},
+		Footer: []string{
+			"the first five are the paper's Section VI evaluation set (fxa.Models);",
+			"all rows resolve via -model and fxa.ModelByName (fxa.AllModels)",
+		},
+	}
+	for _, m := range fxa.AllModels() {
+		fxMark := ""
+		if m.FX {
+			fxMark = "yes"
+		}
+		t.AddRow(m.Name, m.Kind.String(),
+			strconv.Itoa(m.FetchWidth), strconv.Itoa(m.IssueWidth),
+			fxMark, fmt.Sprintf("%v", engine.Registered(m.Kind)))
+	}
+	t.Render(w)
+}
+
 func main() {
 	n := flag.Uint64("n", 300_000, "dynamic instructions per benchmark run")
 	warmup := flag.Uint64("warmup", 0, "functional fast-forward instructions before each main-sweep run")
@@ -169,7 +195,13 @@ func main() {
 	gateBaselineDir := flag.String("baselinedir", ".", "perfgate: directory holding the BENCH_*.json baselines")
 	gateBenchOut := flag.String("benchout", "", "perfgate: tee the raw `go test -bench` output to this file (rotated, never clobbered)")
 	gateBenchTime := flag.String("benchtime", "", "perfgate: -benchtime passed through to go test (default: go's)")
+	listModels := flag.Bool("list-models", false, "print every named model with its core kind and exit")
 	flag.Parse()
+
+	if *listModels {
+		printModels(os.Stdout)
+		return
+	}
 
 	if !contains(validExperiments, *exp) {
 		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(validExperiments, ", ")))

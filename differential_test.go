@@ -33,7 +33,7 @@ func TestDifferentialAllModels(t *testing.T) {
 			t.Fatalf("%s: reference emulation: %v", name, err)
 		}
 
-		for _, m := range Models() {
+		for _, m := range allKindModels(t) {
 			m := m
 			t.Run(name+"/"+m.Name, func(t *testing.T) {
 				machine := emu.New(prog)
@@ -104,7 +104,7 @@ func TestDifferentialToCompletion(t *testing.T) {
 	if !ref.Halt {
 		t.Fatalf("%s did not halt", name)
 	}
-	for _, m := range Models() {
+	for _, m := range allKindModels(t) {
 		m := m
 		t.Run(m.Name, func(t *testing.T) {
 			machine := emu.New(prog)

@@ -29,6 +29,7 @@ import (
 	// Blank imports register the timing cores with the engine layer; the
 	// public API never names a core package.
 	_ "fxa/internal/core"
+	_ "fxa/internal/dualissue"
 	_ "fxa/internal/inorder"
 )
 
@@ -104,19 +105,27 @@ type Result = engine.Result
 // run's final counters exactly.
 type Interval = engine.Interval
 
-// The five evaluation models of Section VI-B.
+// The five evaluation models of Section VI-B, plus the dual-issue
+// in-order pair of the extended big.LITTLE landscape.
 var (
 	Big    = config.Big
 	Half   = config.Half
 	Little = config.Little
 	BigFX  = config.BigFX
 	HalfFX = config.HalfFX
+	Dual   = config.Dual
+	DualSI = config.DualSI
 )
 
 // Models returns the five evaluation models in the paper's order.
 func Models() []Model { return config.Models() }
 
-// ModelByName resolves "BIG", "HALF", "LITTLE", "BIG+FX" or "HALF+FX".
+// AllModels returns every named model across all registered core kinds:
+// the paper's five plus DUAL-SI and DUAL (internal/dualissue).
+func AllModels() []Model { return config.AllModels() }
+
+// ModelByName resolves "BIG", "HALF", "LITTLE", "BIG+FX", "HALF+FX",
+// "DUAL-SI" or "DUAL".
 func ModelByName(name string) (Model, error) { return config.ByName(name) }
 
 // Workloads returns the 29 SPEC CPU 2006 proxies (12 INT + 17 FP).

@@ -88,7 +88,7 @@ func marshalResult(t testing.TB, res Result) []byte {
 func TestGoldenResults(t *testing.T) {
 	for _, path := range testKernels(t) {
 		name, prog := compileKernel(t, path)
-		for _, m := range Models() {
+		for _, m := range allKindModels(t) {
 			m := m
 			t.Run(name+"/"+m.Name, func(t *testing.T) {
 				res, err := RunTrace(m, emu.NewStream(emu.New(prog), goldenInsts))
@@ -197,7 +197,7 @@ func TestGoldenFilesCovered(t *testing.T) {
 	want := map[string]bool{}
 	for _, path := range testKernels(t) {
 		name := strings.TrimSuffix(filepath.Base(path), ".fxk")
-		for _, m := range Models() {
+		for _, m := range allKindModels(t) {
 			want[filepath.Base(goldenPath(name, m.Name))] = true
 		}
 	}

@@ -1,0 +1,70 @@
+package biglittle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fxa/internal/config"
+	"fxa/internal/workload"
+)
+
+func TestLandscapeCoversAllKindsAndModels(t *testing.T) {
+	w, ok := workload.ByName("libquantum")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	pts, err := Landscape(context.Background(), w, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := config.AllModels()
+	if len(pts) != len(all) {
+		t.Fatalf("landscape has %d points, want %d (one per model)", len(pts), len(all))
+	}
+	kinds := map[config.CoreKind]bool{}
+	byName := map[string]LandscapePoint{}
+	for _, p := range pts {
+		kinds[p.Model.Kind] = true
+		byName[p.Model.Name] = p
+		if p.IPC <= 0 || p.EPI <= 0 || p.Cycles == 0 {
+			t.Errorf("%s: degenerate point %+v", p.Model.Name, p)
+		}
+	}
+	if len(kinds) != len(config.Kinds()) {
+		t.Errorf("landscape spans %d core kinds, want %d", len(kinds), len(config.Kinds()))
+	}
+
+	// The landscape's ordering claims: BIG is the IPC ceiling; the
+	// dual-issue core beats its own single-issue baseline nowhere on a
+	// workload without FP/INT interleave but never exceeds LITTLE's
+	// dual-issue IPC; every in-order kind is cheaper per instruction than
+	// every out-of-order model.
+	if byName["BIG"].IPC < byName["LITTLE"].IPC {
+		t.Errorf("BIG IPC %.3f below LITTLE %.3f", byName["BIG"].IPC, byName["LITTLE"].IPC)
+	}
+	if byName["DUAL"].IPC > byName["LITTLE"].IPC {
+		t.Errorf("narrow DUAL IPC %.3f above LITTLE %.3f", byName["DUAL"].IPC, byName["LITTLE"].IPC)
+	}
+	for _, io := range []string{"LITTLE", "DUAL", "DUAL-SI"} {
+		for _, ooo := range []string{"BIG", "HALF", "BIG+FX", "HALF+FX"} {
+			if byName[io].EPI >= byName[ooo].EPI {
+				t.Errorf("%s EPI %.1f not below %s EPI %.1f", io, byName[io].EPI, ooo, byName[ooo].EPI)
+			}
+		}
+	}
+}
+
+func TestLandscapeTableRendering(t *testing.T) {
+	pts := []LandscapePoint{
+		{Model: config.Big(), Cycles: 100, IPC: 1.5, EPI: 40},
+		{Model: config.Dual(), Cycles: 300, IPC: 0.5, EPI: 10},
+	}
+	tab := LandscapeTable("landscape", pts)
+	out := tab.String()
+	for _, want := range []string{"BIG", "DUAL", "out-of-order", "dual-issue-in-order", "EPI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

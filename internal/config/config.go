@@ -14,9 +14,32 @@ import (
 type CoreKind int
 
 const (
-	OutOfOrder CoreKind = iota // internal/core
-	InOrder                    // internal/inorder
+	OutOfOrder       CoreKind = iota // internal/core
+	InOrder                          // internal/inorder
+	DualIssueInOrder                 // internal/dualissue
 )
+
+// String returns the kind's registry name, matching what engine.Kinds and
+// fxabench -list-models print.
+func (k CoreKind) String() string {
+	switch k {
+	case OutOfOrder:
+		return "out-of-order"
+	case InOrder:
+		return "in-order"
+	case DualIssueInOrder:
+		return "dual-issue-in-order"
+	default:
+		return fmt.Sprintf("CoreKind(%d)", int(k))
+	}
+}
+
+// Kinds returns every defined CoreKind in declaration order. Model
+// validation and the registry-driven test suites iterate it instead of
+// hard-coding the kind list.
+func Kinds() []CoreKind {
+	return []CoreKind{OutOfOrder, InOrder, DualIssueInOrder}
+}
 
 // IXU describes the in-order execution unit of an FXA model.
 type IXU struct {
@@ -110,8 +133,22 @@ type Model struct {
 
 // Validate checks parameter consistency.
 func (m *Model) Validate() error {
+	known := false
+	for _, k := range Kinds() {
+		if m.Kind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("config: %s: unknown core kind %d (known kinds: %v)", m.Name, int(m.Kind), Kinds())
+	}
 	if m.FetchWidth <= 0 || m.IssueWidth <= 0 || m.CommitWidth <= 0 {
 		return fmt.Errorf("config: %s: non-positive width", m.Name)
+	}
+	if m.Kind == DualIssueInOrder && m.IssueWidth > 2 {
+		return fmt.Errorf("config: %s: dual-issue core pairs at most 2 instructions per cycle (IssueWidth %d)",
+			m.Name, m.IssueWidth)
 	}
 	if m.Kind == OutOfOrder {
 		if m.IQEntries <= 0 || m.ROBEntries <= 0 || m.IntPRF <= 32 || m.FPPRF <= 32 {
@@ -218,15 +255,54 @@ func BigFX() Model {
 	return m
 }
 
-// Models returns the five evaluation models in the paper's order.
+// Dual returns the dual-issue in-order model: LITTLE's pipeline with one
+// FU per class and a mixed INT/FP pairing rule in the second issue slot
+// (Colagrande & Benini's pseudo-dual-issue discipline: a cycle's second
+// instruction must come from the opposite integer/floating-point domain,
+// so the pair never contends for a domain's register-file ports).
+func Dual() Model {
+	return Model{
+		Name:        "DUAL",
+		Kind:        DualIssueInOrder,
+		FetchWidth:  2,
+		IssueWidth:  2,
+		CommitWidth: 2,
+		IntFUs:      1, MemFUs: 1, FPFUs: 1,
+		FrontendDepth:   3,
+		RedirectLatency: 1,
+		MSHRs:           2,
+		Bpred:           bpred.DefaultConfig(),
+		Mem:             mem.DefaultHierarchyConfig(),
+	}
+}
+
+// DualSI returns DUAL restricted to one issue slot: the single-issue
+// baseline the pairing rule is measured against.
+func DualSI() Model {
+	m := Dual()
+	m.Name = "DUAL-SI"
+	m.IssueWidth = 1
+	return m
+}
+
+// Models returns the five evaluation models in the paper's order. The
+// sweep fabric, sampling suite and the paper's figures iterate exactly
+// this set; additional core kinds appear only in AllModels.
 func Models() []Model {
 	return []Model{Little(), Big(), BigFX(), Half(), HalfFX()}
 }
 
+// AllModels returns every named model across all core kinds: the paper's
+// five plus the dual-issue pair. The registry-driven test suites and the
+// big.LITTLE landscape iterate this set.
+func AllModels() []Model {
+	return append(Models(), DualSI(), Dual())
+}
+
 // ByName returns the named model (case-sensitive: "BIG", "HALF", "LITTLE",
-// "BIG+FX", "HALF+FX").
+// "BIG+FX", "HALF+FX", "DUAL-SI", "DUAL").
 func ByName(name string) (Model, error) {
-	for _, m := range Models() {
+	for _, m := range AllModels() {
 		if m.Name == name {
 			return m, nil
 		}

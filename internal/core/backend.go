@@ -37,7 +37,7 @@ func (co *Core) issue() {
 
 		// FU availability by class.
 		cls := u.st.Cls
-		pool := co.fuPool(cls)
+		pool := co.fu.Pool(cls)
 		fu := -1
 		for i, busy := range pool {
 			if busy <= co.cycle {

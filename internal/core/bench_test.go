@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fxa/internal/config"
+	"fxa/internal/engine"
 	"fxa/internal/workload"
 )
 
@@ -73,6 +74,59 @@ func BenchmarkCoreHotLoop(b *testing.B) {
 // with stores that trigger memory-order violations and replays.
 func BenchmarkCoreFlushHeavy(b *testing.B) {
 	benchRun(b, config.HalfFX(), "bzip2", 60_000)
+}
+
+// benchEngineRun is benchRun through the engine registry, for models of
+// other core kinds (the dual-issue benchmarks below; the blank imports in
+// fuzz_test.go register them). Same timing discipline: trace generation
+// and construction excluded, ns/inst reported.
+func benchEngineRun(b *testing.B, m config.Model, name string, insts uint64) {
+	b.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown workload %q", name)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr, err := w.NewTrace(insts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(m, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := e.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += res.Counters.Committed
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(committed), "ns/inst")
+}
+
+// BenchmarkCoreDualIssue measures the dual-issue in-order core built on
+// the shared internal/pipeline stage library, against its single-issue
+// baseline, on one INT and one FP-interleaved workload. Guards the cost
+// of the pairing check in the issue loop.
+func BenchmarkCoreDualIssue(b *testing.B) {
+	const insts = 60_000
+	for _, tc := range []struct {
+		model config.Model
+		work  string
+	}{
+		{config.Dual(), "libquantum"},
+		{config.Dual(), "namd"},
+		{config.DualSI(), "libquantum"},
+	} {
+		b.Run(fmt.Sprintf("%s/%s", tc.model.Name, tc.work), func(b *testing.B) {
+			benchEngineRun(b, tc.model, tc.work, insts)
+		})
+	}
 }
 
 // BenchmarkCoreMemBound measures the memory-bound regime that motivates

@@ -19,11 +19,11 @@ import (
 
 	"fxa/internal/bpred"
 	"fxa/internal/config"
-	"fxa/internal/decodecache"
 	"fxa/internal/emu"
 	"fxa/internal/engine"
 	"fxa/internal/isa"
 	"fxa/internal/mem"
+	"fxa/internal/pipeline"
 	"fxa/internal/stats"
 )
 
@@ -66,19 +66,17 @@ type Core struct {
 	// wd is the shared deadlock watchdog (progress = a commit).
 	wd engine.Watchdog
 
-	// Fetch state.
-	replay     []emu.Record // flushed records awaiting re-fetch, in order
-	replayHead int          // consumption index into replay (no reslicing)
+	// fe is the shared fetch/predict/decode path (internal/pipeline): the
+	// batched trace reader, the per-PC decode cache, the I-cache
+	// line/fetch-stall state and the flush-replay buffer all live there.
+	fe pipeline.Frontend
+
+	// Fetch state the shared front end does not own: the unresolved
+	// mispredicted branch gating fetch (resolution is a core event) and
+	// the flush scratch buffer.
 	flushRecs  []emu.Record // scratch for flushFrom's squashed-record walk
-	fetchStall int64        // fetch allowed when cycle >= fetchStall
 	blockingBr *uop         // unresolved mispredicted branch gating fetch
 	blockStart int64        // cycle fetch became blocked (for wrong-path accounting)
-	lastLine   uint64       // last I-cache line fetched (+1 so 0 means none)
-	pendingRec emu.Record   // record fetched from trace but not yet issued to pipeline
-	hasPending bool
-
-	// tr is the shared batched-trace consumer (engine layer).
-	tr engine.TraceReader
 
 	// Front-end delay line: fetched uops waiting to reach rename.
 	feQueue uopRing
@@ -103,9 +101,8 @@ type Core struct {
 	pool    []*uop
 	uopLive int
 
-	intFU []int64 // busy-until cycle per FU
-	memFU []int64
-	fpFU  []int64
+	// fu holds the per-class FU busy-until pools (internal/pipeline).
+	fu pipeline.FUPools
 
 	// memPortsThisCycle counts LSQ/L1D port grants in the current cycle;
 	// the OXU issues first, so the IXU only uses leftover ports
@@ -117,26 +114,15 @@ type Core struct {
 	// memory-level parallelism (Model.MSHRs).
 	mshrFree []int64
 
-	// dec memoizes per-PC static decode templates (src/dst registers, FU
-	// class, latency, branch kind), so allocUop is a template stamp.
-	dec decodecache.Cache
-	// codeGen is the trace's code-write generation probe, nil when the
-	// trace does not support it; lastGen is the generation dec's tables
-	// were built against (checked once per Step slice).
-	codeGen engine.CodeGenTrace
-	lastGen uint64
-
-	// Event-driven idle-cycle skipping (skip.go). active records whether
-	// any stage changed state this cycle; when it stayed false, nextEvent
-	// computes a conservative lower bound on the first cycle anything can
-	// happen and the loop advances co.cycle directly to just before it.
-	// The skipped spans never appear in stats.Counters — results are
-	// bit-identical to the tick path; skippedCycles/skipSpans are
-	// core-local diagnostics.
-	skipIdle      bool
-	active        bool
-	skippedCycles int64
-	skipSpans     int64
+	// Event-driven idle-cycle skipping (events.go + pipeline.Skipper).
+	// active records whether any stage changed state this cycle; when it
+	// stayed false, the registered event sources derive a conservative
+	// lower bound on the first cycle anything can happen and the loop
+	// advances co.cycle directly to just before it. The skipped spans
+	// never appear in stats.Counters — results are bit-identical to the
+	// tick path.
+	skip   pipeline.Skipper
+	active bool
 
 	// debug, when non-nil, is invoked at the end of every simulated cycle
 	// the loop actually iterates (skipped idle cycles do not fire it).
@@ -156,13 +142,11 @@ func New(cfg config.Model, trace Trace) (*Core, error) {
 		return nil, fmt.Errorf("core: model %s is not an out-of-order core (use internal/inorder)", cfg.Name)
 	}
 	co := &Core{
-		cfg:   cfg,
-		mem:   mem.NewHierarchy(cfg.Mem),
-		bp:    bpred.New(cfg.Bpred),
-		ss:    bpred.NewStoreSet(4096, 256),
-		intFU: make([]int64, cfg.IntFUs),
-		memFU: make([]int64, cfg.MemFUs),
-		fpFU:  make([]int64, cfg.FPFUs),
+		cfg: cfg,
+		mem: mem.NewHierarchy(cfg.Mem),
+		bp:  bpred.New(cfg.Bpred),
+		ss:  bpred.NewStoreSet(4096, 256),
+		fu:  pipeline.NewFUPools(cfg.IntFUs, cfg.MemFUs, cfg.FPFUs),
 	}
 	// Capacity-pinned in-flight structures: sized once here so the hot
 	// loop never grows them (DESIGN.md §8.2).
@@ -171,12 +155,12 @@ func New(cfg config.Model, trace Trace) (*Core, error) {
 	co.sq = newUopRing(cfg.SQEntries)
 	co.feQueue = newUopRing(co.feCap())
 	co.iq = make([]*uop, 0, cfg.IQEntries)
-	co.tr = engine.NewTraceReader(trace)
-	co.skipIdle = engine.IdleSkip()
-	if g, ok := trace.(engine.CodeGenTrace); ok {
-		co.codeGen = g
-		co.lastGen = g.CodeGen()
-	}
+	// The out-of-order front end accesses the BTB in parallel with
+	// direction prediction, so the BTB trains even on a direction
+	// misprediction (CondBTBAlways).
+	co.fe.Init(co.bp, co.mem, trace, true)
+	co.skip.Enabled = engine.IdleSkip()
+	co.registerSkipSources()
 	if cfg.FX {
 		co.ixu = make([][]*uop, cfg.IXU.Stages())
 		for i := range co.ixu {
@@ -206,20 +190,6 @@ func (co *Core) feCap() int {
 	return (int(co.frontDepth()) + 2) * co.cfg.FetchWidth
 }
 
-// fuPool returns the FU busy-until pool serving an execution class.
-// Shared by the OXU select loop and the next-event scan so the mapping
-// cannot drift between them.
-func (co *Core) fuPool(cls isa.Class) []int64 {
-	switch cls {
-	case isa.ClassLoad, isa.ClassStore:
-		return co.memFU
-	case isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv:
-		return co.fpFU
-	default:
-		return co.intFU
-	}
-}
-
 // init registers the out-of-order core with the engine layer, so any
 // package that (blank-)imports internal/core can construct it through
 // engine.New without referring to this package's API.
@@ -247,16 +217,7 @@ func (co *Core) Run(ctx context.Context) (Result, error) {
 // engine.Drive's check-every cadence (context cancellation, interval
 // cuts, warm-up marks) is unchanged by skipping.
 func (co *Core) Step(nCycles int64) (bool, error) {
-	if co.codeGen != nil {
-		// Decode-cache hygiene: drop templates built before the last
-		// code write. Correctness never depends on this — Lookup
-		// re-validates every slot against the record's Inst — it just
-		// keeps a self-modifying program from accumulating dead pages.
-		if g := co.codeGen.CodeGen(); g != co.lastGen {
-			co.lastGen = g
-			co.dec.Invalidate()
-		}
-	}
+	co.fe.SyncDecodeCache()
 	for n := int64(0); n < nCycles; n++ {
 		co.cycle++
 		co.memPortsThisCycle = 0
@@ -271,20 +232,17 @@ func (co *Core) Step(nCycles int64) (bool, error) {
 		if co.debug != nil {
 			co.debug()
 		}
-		if co.tr.Done() && co.rob.Len() == 0 && co.feQueue.Len() == 0 && co.ixuEmpty() &&
-			co.replayHead == len(co.replay) && !co.hasPending {
+		if co.fe.Drained() && co.rob.Len() == 0 && co.feQueue.Len() == 0 && co.ixuEmpty() {
 			return true, nil
 		}
 		if co.wd.Stuck(co.cycle) {
 			return false, co.wd.Fail(co.cfg.Name, co.cycle,
 				fmt.Sprintf("rob=%d iq=%d fe=%d", co.rob.Len(), len(co.iq), co.feQueue.Len()))
 		}
-		if co.skipIdle && !co.active {
-			if j := co.idleJump(nCycles - 1 - n); j > 0 {
+		if co.skip.Enabled && !co.active {
+			if j := co.skip.Jump(co.cycle, nCycles-1-n, &co.wd); j > 0 {
 				co.cycle += j
 				n += j
-				co.skippedCycles += j
-				co.skipSpans++
 			}
 		}
 	}
@@ -294,29 +252,17 @@ func (co *Core) Step(nCycles int64) (bool, error) {
 // SetIdleSkip overrides the process-wide default (engine.SetIdleSkip) for
 // this core. Skip-on and skip-off runs are bit-identical; the knob exists
 // for the differential suite and debugging, not fidelity.
-func (co *Core) SetIdleSkip(on bool) { co.skipIdle = on }
+func (co *Core) SetIdleSkip(on bool) { co.skip.Enabled = on }
 
 // SkipStats reports how many cycles the event-driven scheduler skipped
 // and across how many idle spans. Diagnostics only — deliberately not
 // part of stats.Counters, whose JSON form the goldens pin byte-exactly.
-func (co *Core) SkipStats() (cycles, spans int64) { return co.skippedCycles, co.skipSpans }
+func (co *Core) SkipStats() (cycles, spans int64) { return co.skip.SkipStats() }
 
 // Result assembles the statistics collected so far (engine.Engine). It is
 // idempotent and safe to call mid-run.
 func (co *Core) Result() Result {
-	c := co.c
-	c.Cycles = uint64(co.cycle)
-	return Result{
-		SchemaVersion: engine.ResultSchemaVersion,
-		Model:         co.cfg.Name,
-		Counters:      c,
-		L1I:           co.mem.L1I.Stats,
-		L1D:           co.mem.L1D.Stats,
-		L2:            co.mem.L2.Stats,
-		DRAM:          co.mem.DRAM.Accesses,
-		Bpred:         co.bp.Stats,
-		StoreSet:      co.ss.Stats,
-	}
+	return pipeline.BuildResult(co.cfg.Name, co.c, co.cycle, co.mem, co.bp, co.ss)
 }
 
 // Occupancy reports instantaneous ROB and issue-queue occupancy
@@ -331,9 +277,7 @@ func (co *Core) Occupancy() (rob, iq int) { return co.rob.Len(), len(co.iq) }
 // accounting, which is fine — a cancelled run's result is discarded.
 func (co *Core) Abort() {
 	co.flushFrom(0, co.cycle)
-	co.replay = co.replay[:0]
-	co.replayHead = 0
-	co.hasPending = false
+	co.fe.DropReplay()
 	co.blockingBr = nil
 }
 
@@ -460,22 +404,11 @@ func (co *Core) flushFrom(seq uint64, when int64) {
 
 	co.c.ReplayedUops += uint64(len(recs))
 	// Not-yet-fetched records (a stalled fetch, earlier replays) are all
-	// younger than the squashed window; keep program order by appending
-	// them after the squashed records, then swap scratch and replay
-	// buffers so the next flush reuses the old replay backing.
-	if co.hasPending {
-		recs = append(recs, co.pendingRec)
-		co.hasPending = false
-	}
-	recs = append(recs, co.replay[co.replayHead:]...)
-	co.flushRecs = co.replay[:0]
-	co.replay = recs
-	co.replayHead = 0
-	co.lastLine = 0 // refetch the line after the redirect
-	resume := when + int64(co.cfg.RedirectLatency) + violationRecovery
-	if resume > co.fetchStall {
-		co.fetchStall = resume
-	}
+	// younger than the squashed window; the front end keeps program order
+	// by appending them after the squashed records, then returns the old
+	// replay backing as scratch so the next flush reuses it.
+	co.flushRecs = co.fe.Requeue(recs)
+	co.fe.StallUntil(when + int64(co.cfg.RedirectLatency) + violationRecovery)
 }
 
 // releaseDest returns the physical register held by u to the free pool.

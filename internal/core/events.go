@@ -1,0 +1,170 @@
+package core
+
+import "fxa/internal/pipeline"
+
+// Event sources for idle-cycle skipping (DESIGN.md §8.8, §8.9).
+//
+// The skip machinery itself — folding candidates into a conservative
+// lower bound, clamping the jump to the Step budget and watchdog
+// deadline, tracking the skip diagnostics — lives in pipeline.Skipper,
+// shared with every other core kind. This file contributes only what is
+// specific to the out-of-order pipeline: which structures can wake it,
+// and when. Each source enumerates candidate wake-up cycles for one
+// stage; the safety contract (lower bounds only, omissions covered by
+// other enumerated events) is documented on the Skipper.
+//
+// co.active is a pure CPU-cost gate, not a correctness input: the scan
+// is computed fresh from post-cycle state, so a stage that forgot to set
+// the flag could at worst trigger a redundant scan, never a wrong bound.
+
+// registerSkipSources wires this core's stage-specific event sources
+// into the shared Skipper, in back-to-front pipeline order.
+func (co *Core) registerSkipSources() {
+	co.skip.AddSource(co.commitEvents)
+	co.skip.AddSource(co.oxuEvents)
+	if co.cfg.FX {
+		co.skip.AddSource(co.ixuNextEvent)
+	}
+	co.skip.AddSource(co.renameEvents)
+	co.skip.AddSource(co.fetchEvents)
+}
+
+// commitEvents: the ROB head retires once its result (and, for IXU
+// results, its PRF write at IXU exit) has landed. An unexecuted head
+// wakes through its own execution event; an executed-in-IXU head still
+// inside the IXU has prfCycle=farFuture and wakes through the IXU drain
+// events.
+func (co *Core) commitEvents(ev func(int64)) {
+	if co.rob.Len() == 0 {
+		return
+	}
+	if u := co.rob.At(0); u.executed {
+		c := u.resultCycle
+		if u.executedInIXU && u.prfCycle > c {
+			c = u.prfCycle
+		}
+		if c < farFuture {
+			ev(c)
+		}
+	}
+}
+
+// oxuEvents: per-IQ-entry earliest-issue bound — dispatch depth, source
+// availability, and the first cycle any FU of the class frees up.
+// Entries waiting on a producer that has not executed (availToOXU is
+// farFuture) or on an unexecuted store-set dependence are omitted: they
+// wake through that producer's own event.
+func (co *Core) oxuEvents(ev func(int64)) {
+	for _, u := range co.iq {
+		c := u.dispatchCycle + minIssueDelay
+		blocked := false
+		for i := 0; i < u.nsrc; i++ {
+			if p := u.srcs[i]; p != nil {
+				a := p.availToOXU()
+				if a >= farFuture {
+					blocked = true
+					break
+				}
+				if a > c {
+					c = a
+				}
+			}
+		}
+		if blocked {
+			continue
+		}
+		if u.depStore != nil && !u.depStore.executed {
+			continue
+		}
+		if fuFree := pipeline.NextFree(co.fu.Pool(u.st.Cls)); fuFree > c {
+			c = fuFree
+		}
+		ev(c)
+	}
+}
+
+// renameEvents: the front-end queue head leaves the decode pipeline at a
+// fixed delay. Once delay-eligible but structurally blocked, the
+// unblocking commit/issue/drain is itself an enumerated event, so no
+// candidate is needed; an eligible unblocked head renames next cycle (it
+// only failed this cycle on rename width).
+func (co *Core) renameEvents(ev func(int64)) {
+	if co.feQueue.Len() == 0 {
+		return
+	}
+	u := co.feQueue.At(0)
+	if c := u.fetchCycle + co.frontDepth(); c > co.cycle {
+		ev(c)
+	} else if !co.renameBlocked(u) {
+		ev(co.cycle + 1)
+	}
+}
+
+// fetchEvents: gated by an unresolved mispredicted branch (resolution is
+// an execution event) or by queue space (a rename event); otherwise the
+// I-cache refill / redirect time, known to the shared front end.
+func (co *Core) fetchEvents(ev func(int64)) {
+	co.fe.FetchEvent(co.blockingBr != nil, co.feQueue.Len() < co.feCap(), ev)
+}
+
+// ixuNextEvent reports the IXU's event candidates: pending result
+// broadcasts, exit-stage drains, pipeline shifts, and per-instruction
+// execution readiness.
+func (co *Core) ixuNextEvent(ev func(int64)) {
+	nStages := len(co.ixu)
+
+	// Exit-stage drain: executed results always leave next cycle;
+	// unexecuted instructions dispatch in order as soon as the IQ has
+	// room (an IQ that is full empties through issue events).
+	if exit := co.ixu[nStages-1]; len(exit) > 0 {
+		if exit[0].executedInIXU || len(co.iq) < co.cfg.IQEntries {
+			ev(co.cycle + 1)
+		}
+	}
+
+	// A shift into a free stage is an event (uops advance one stage per
+	// cycle toward the exit; holes persist until they reach it).
+	for s := 1; s < nStages; s++ {
+		if len(co.ixu[s]) == 0 && len(co.ixu[s-1]) > 0 {
+			ev(co.cycle + 1)
+			break
+		}
+	}
+
+	for s := range co.ixu {
+		for _, u := range co.ixu[s] {
+			if u.executedInIXU {
+				// Pending bypass broadcast / PRF-write visibility: the
+				// bypass pass latches consumers once resultCycle
+				// arrives, so never skip past it.
+				ev(u.resultCycle)
+				continue
+			}
+			if !u.st.IXUElig {
+				continue // flows through unexecuted; drain/shift covers it
+			}
+			if u.depStore != nil && !u.depStore.executed {
+				continue // wakes when the store executes
+			}
+			w := co.cycle // zero-source instructions are always ready
+			blocked := false
+			for i := 0; i < u.nsrc; i++ {
+				a := u.srcAvail[i]
+				if a >= farFuture {
+					// Not reachable over the bypass network (yet): it
+					// either latches when the producer executes — that
+					// producer's own event — or flows through
+					// unexecuted, covered by drain/shift.
+					blocked = true
+					break
+				}
+				if a > w {
+					w = a
+				}
+			}
+			if !blocked {
+				ev(w) // ready-but-contended clamps to cycle+1
+			}
+		}
+	}
+}

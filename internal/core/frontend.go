@@ -3,127 +3,35 @@ package core
 import (
 	"fmt"
 
+	"fxa/internal/decodecache"
 	"fxa/internal/emu"
 	"fxa/internal/isa"
 )
 
-// nextRec returns the next record to fetch: a previously stalled record,
-// then replayed (flushed) records, then the live trace.
-func (co *Core) nextRec() (emu.Record, bool) {
-	if co.hasPending {
-		co.hasPending = false
-		return co.pendingRec, true
-	}
-	if co.replayHead < len(co.replay) {
-		r := co.replay[co.replayHead]
-		co.replayHead++
-		if co.replayHead == len(co.replay) {
-			// Fully consumed: reset so the buffer is reusable by the next
-			// flush without reallocating (the head index replaces the seed
-			// implementation's `replay = replay[1:]` reslicing, which made
-			// the backing array unrecoverable).
-			co.replay = co.replay[:0]
-			co.replayHead = 0
-		}
-		return r, true
-	}
-	return co.tr.Next()
-}
-
-// ungetRec pushes a record back so the next fetch cycle retries it. The
-// record is stored by value: the seed implementation heap-boxed it
-// (`co.pendingRec = &rec`), one allocation per I-cache miss.
-func (co *Core) ungetRec(r emu.Record) {
-	co.pendingRec = r
-	co.hasPending = true
-}
-
-const lineShift = 6 // 64-byte fetch lines
-
 // fetch models the fetch stage: up to FetchWidth instructions per cycle
 // from the correct path, ending at taken branches; I-cache misses and
-// unresolved branch mispredictions stall it.
+// unresolved branch mispredictions stall it. The loop itself — trace
+// consumption, I-cache access per line, decode-template lookup, predictor
+// consultation — is the shared pipeline.Frontend; this core contributes
+// only uop allocation and blocking-branch bookkeeping through the admit
+// callback. The front-end queue bounds the number of in-flight
+// fetched-but-not-renamed instructions (the decode/rename pipeline plus a
+// small fetch buffer).
 func (co *Core) fetch() {
-	if co.blockingBr != nil || co.cycle < co.fetchStall {
-		return
-	}
-	// The front-end queue bounds the number of in-flight fetched-but-not-
-	// renamed instructions (the decode/rename pipeline plus a small fetch
-	// buffer).
-	capFE := co.feCap()
-	for n := 0; n < co.cfg.FetchWidth && co.feQueue.Len() < capFE; n++ {
-		rec, ok := co.nextRec()
-		if !ok {
-			return
-		}
-		co.active = true
-		// Instruction cache: access once per new line.
-		line := rec.PC >> lineShift
-		if line+1 != co.lastLine {
-			lat := co.mem.InstFetch(rec.PC)
-			co.lastLine = line + 1
-			hit := co.mem.L1I.Config().HitLatency
-			if lat > hit {
-				// Line miss: this instruction arrives when the fill
-				// completes.
-				co.fetchStall = co.cycle + int64(lat-hit)
-				co.ungetRec(rec)
-				return
-			}
-		}
-
-		u := co.allocUop(rec, co.cycle)
-		if u.st.IsBranch {
-			co.c.Branches++
-			mispred := false
-			switch {
-			case u.st.IsCond:
-				_, correct := co.bp.PredictConditional(rec.PC, rec.Taken)
-				mispred = !correct
-				if rec.Taken {
-					if !co.bp.PredictTarget(rec.PC, rec.NextPC) && !mispred {
-						// Direction right but target unknown at fetch:
-						// decode-stage redirect bubble.
-						co.fetchStall = co.cycle + 2
-					}
-				}
-			case u.st.IsUncond:
-				if !co.bp.PredictTarget(rec.PC, rec.NextPC) {
-					co.fetchStall = co.cycle + 2
-				}
-			default: // indirect jump
-				if u.st.IsReturn {
-					// Non-linking jump = return: predict via the RAS.
-					if !co.bp.Return(rec.PC, rec.NextPC) {
-						mispred = true
-					}
-				} else {
-					// Linking jump = call: target from the BTB, return
-					// address pushed for the matching return.
-					if !co.bp.PredictTarget(rec.PC, rec.NextPC) {
-						mispred = true
-					}
-					co.bp.Call(rec.PC + 4)
-				}
-			}
+	room := co.feCap() - co.feQueue.Len()
+	fetched := co.fe.FetchCycle(co.cycle, co.blockingBr != nil, co.cfg.FetchWidth, room, &co.c,
+		func(rec emu.Record, st *decodecache.Static, mispred bool) {
+			u := co.allocUop(rec, st, co.cycle)
 			if mispred {
 				u.mispredict = true
-				co.c.BranchMispredicts++
 				co.blockingBr = u
 				co.blockStart = co.cycle
 			}
-		}
-
-		co.traceStart(u)
-		co.feQueue.PushBack(u)
-		co.c.FetchedInsts++
-		co.c.DecodeOps++
-		if u.mispredict {
-			return // nothing younger is on the correct path yet
-		}
-		if rec.Taken {
-			return // fetch groups end at taken branches
-		}
+			co.traceStart(u)
+			co.feQueue.PushBack(u)
+		})
+	if fetched {
+		co.active = true
 	}
 }
 
@@ -503,9 +411,7 @@ func (co *Core) resolveMispredict(u *uop, resolveCycle int64, inIXU bool) {
 	}
 	co.blockingBr = nil
 	resume := resolveCycle + int64(co.cfg.RedirectLatency)
-	if resume > co.fetchStall {
-		co.fetchStall = resume
-	}
+	co.fe.StallUntil(resume)
 	stall := resume - co.blockStart
 	if stall < 0 {
 		stall = 0

@@ -10,6 +10,12 @@ import (
 	"fxa/internal/asm"
 	"fxa/internal/config"
 	"fxa/internal/emu"
+	"fxa/internal/engine"
+
+	// Register the non-out-of-order kinds so the registry-driven fuzz
+	// variants can construct them through engine.New.
+	_ "fxa/internal/dualissue"
+	_ "fxa/internal/inorder"
 )
 
 // progGen generates random but always-terminating programs: straight-line
@@ -101,16 +107,17 @@ func generate(seed int64, iters, body int) string {
 }
 
 // TestFuzzAllModelsMatchEmulator generates random programs and checks the
-// fundamental timing-model invariant on every model: the committed
-// instruction stream is exactly the architectural one (same count, and
-// the pipeline drains without deadlock), regardless of speculation,
-// replays, and IXU/OXU splits.
+// fundamental timing-model invariant on every model of every registered
+// core kind: the committed instruction stream is exactly the
+// architectural one (same count, and the pipeline drains without
+// deadlock), regardless of speculation, replays, and IXU/OXU splits. The
+// out-of-order-specific conservation laws apply only to that kind.
 func TestFuzzAllModelsMatchEmulator(t *testing.T) {
 	seeds := []int64{1, 2, 3, 7, 42, 1234, 99999}
 	if testing.Short() {
 		seeds = seeds[:3]
 	}
-	models := []config.Model{config.Big(), config.Half(), config.BigFX(), config.HalfFX()}
+	models := config.AllModels()
 	for _, seed := range seeds {
 		seed := seed
 		t.Run(fmt.Sprint(seed), func(t *testing.T) {
@@ -128,17 +135,20 @@ func TestFuzzAllModelsMatchEmulator(t *testing.T) {
 				t.Fatalf("seed %d: generated program did not halt", seed)
 			}
 			for _, m := range models {
-				co, err := New(m, emu.NewStream(emu.New(prog), 0))
+				e, err := engine.New(m, emu.NewStream(emu.New(prog), 0))
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := co.Run(context.Background())
+				res, err := e.Run(context.Background())
 				if err != nil {
 					t.Fatalf("seed %d on %s: %v", seed, m.Name, err)
 				}
 				c := &res.Counters
 				if c.Committed != want {
 					t.Errorf("seed %d on %s: committed %d, want %d", seed, m.Name, c.Committed, want)
+				}
+				if m.Kind != config.OutOfOrder {
+					continue
 				}
 				if c.IXUExec+c.OXUExec != c.Committed {
 					t.Errorf("seed %d on %s: IXU(%d)+OXU(%d) != committed(%d)",
@@ -207,13 +217,16 @@ func checkFlushRun(t *testing.T, label string, co *Core, res Result, want uint64
 	}
 }
 
-// flushFuzzModel maps a variant index to a model, covering the plain and
-// FX cores plus two configurations the default model set never exercises:
-// a single-MSHR core (fill serialization + flushes racing in-flight
-// misses) and a RENO core (squash of eliminated moves, whose RAT entries
-// alias another producer).
+// flushFuzzModel maps a variant index to a model, covering every
+// registered core kind: the plain and FX out-of-order cores, two
+// configurations the default model set never exercises — a single-MSHR
+// core (fill serialization + flushes racing in-flight misses) and a RENO
+// core (squash of eliminated moves, whose RAT entries alias another
+// producer) — plus the in-order and dual-issue kinds, dispatched through
+// the engine registry. Variants 0-4 keep their historical meaning so the
+// recorded fuzz corpus stays valid.
 func flushFuzzModel(variant uint8) config.Model {
-	switch variant % 5 {
+	switch variant % 7 {
 	case 0:
 		return config.Big()
 	case 1:
@@ -225,12 +238,32 @@ func flushFuzzModel(variant uint8) config.Model {
 		m.Name = "HALF+FX/mshr1"
 		m.MSHRs = 1
 		return m
-	default:
+	case 4:
 		m := config.HalfFX()
 		m.Name = "HALF+FX/reno"
 		m.RENO = true
 		return m
+	case 5:
+		return config.Little()
+	default:
+		return config.Dual()
 	}
+}
+
+// runNonOoOFuzz runs prog on a non-out-of-order model through the engine
+// registry. Those cores expose no flush-injection hook (they never
+// speculate past a memory ordering), so the scenario degenerates to the
+// drain/commit invariant under the selected skip mode — which is exactly
+// what a registry-dispatched kind must still satisfy.
+func runNonOoOFuzz(m config.Model, prog *asm.Program, skip bool) (Result, error) {
+	e, err := engine.New(m, emu.NewStream(emu.New(prog), 0))
+	if err != nil {
+		return Result{}, err
+	}
+	if s, ok := e.(interface{ SetIdleSkip(bool) }); ok {
+		s.SetIdleSkip(skip)
+	}
+	return e.Run(context.Background())
 }
 
 // TestFuzzRandomFlush runs the seed scenarios deterministically under
@@ -252,10 +285,20 @@ func TestFuzzRandomFlush(t *testing.T) {
 		if err != nil || !golden.Halt {
 			t.Fatalf("seed %d emulate: %v (halt=%v)", progSeed, err, golden.Halt)
 		}
-		for variant := uint8(0); variant < 5; variant++ {
+		for variant := uint8(0); variant < 7; variant++ {
 			for _, skip := range []bool{true, false} {
 				m := flushFuzzModel(variant)
 				label := fmt.Sprintf("seed %d on %s skip=%v", progSeed, m.Name, skip)
+				if m.Kind != config.OutOfOrder {
+					res, err := runNonOoOFuzz(m, prog, skip)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if res.Counters.Committed != want {
+						t.Errorf("%s: committed %d, want %d", label, res.Counters.Committed, want)
+					}
+					continue
+				}
 				co, res, injected, err := runWithInjectedFlushes(m, prog, progSeed*31+int64(variant), 24, skip)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
@@ -297,6 +340,16 @@ func FuzzRandomFlush(f *testing.F) {
 		sp := 16 + int(spacing)%112
 		skip := variant&0x80 == 0
 		m := flushFuzzModel(variant & 0x7f)
+		if m.Kind != config.OutOfOrder {
+			res, err := runNonOoOFuzz(m, prog, skip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counters.Committed != want {
+				t.Errorf("%s: committed %d, want %d", m.Name, res.Counters.Committed, want)
+			}
+			return
+		}
 		co, res, _, err := runWithInjectedFlushes(m, prog, flushSeed, sp, skip)
 		if err != nil {
 			t.Fatal(err)

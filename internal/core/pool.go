@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"fxa/internal/decodecache"
 	"fxa/internal/emu"
 	"fxa/internal/isa"
 )
@@ -41,9 +42,9 @@ import (
 // allocUop takes a uop from the pool (or the heap when the pool is empty)
 // and initializes it from a trace record at fetch time, holding the
 // pipeline-residency reference. Static decode metadata is a template
-// stamp from the per-PC decode cache; only the dynamic fields are set
-// here.
-func (co *Core) allocUop(rec emu.Record, cycle int64) *uop {
+// stamp from the per-PC decode cache (looked up by the shared front end
+// and passed in); only the dynamic fields are set here.
+func (co *Core) allocUop(rec emu.Record, st *decodecache.Static, cycle int64) *uop {
 	var u *uop
 	if n := len(co.pool); n > 0 {
 		u = co.pool[n-1]
@@ -55,7 +56,6 @@ func (co *Core) allocUop(rec emu.Record, cycle int64) *uop {
 	}
 	co.uopLive++
 
-	st := co.dec.Lookup(rec.PC, rec.Inst)
 	u.st = *st
 	u.rec = rec
 	u.fetchCycle = cycle

@@ -1,16 +1,15 @@
 package core
 
 import (
-	"math"
-
 	"fxa/internal/decodecache"
 	"fxa/internal/emu"
 	"fxa/internal/isa"
+	"fxa/internal/pipeline"
 )
 
 // farFuture marks a cycle that never arrives (operand not available,
 // result not scheduled).
-const farFuture = math.MaxInt64 / 4
+const farFuture = pipeline.FarFuture
 
 // uop is one in-flight dynamic instruction instance. A flushed instruction
 // is re-injected as a fresh uop carrying the same emu.Record, so rec.Seq

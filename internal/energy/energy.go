@@ -130,7 +130,10 @@ func Estimate(m config.Model, dev config.Device, r core.Result) Breakdown {
 	var b Breakdown
 	c := &r.Counters
 
-	inorder := m.Kind == config.InOrder
+	// Every non-out-of-order kind (in-order, dual-issue in-order) takes
+	// the scoreboarded-register-file energy path: no IQ/LSQ/RAT, and the
+	// architectural register file stands in for the PRF.
+	inorder := m.Kind != config.OutOfOrder
 
 	// ---- Issue queue (Section V-C) ----
 	if !inorder {

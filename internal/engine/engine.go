@@ -134,11 +134,31 @@ func Register(kind config.CoreKind, c Constructor) {
 	registry[kind] = c
 }
 
+// Kinds returns the registered core kinds in config declaration order.
+// The registry-driven test suites (golden, differential, skip, fuzz)
+// iterate it so a newly registered kind is covered without touching them.
+func Kinds() []config.CoreKind {
+	var ks []config.CoreKind
+	for _, k := range config.Kinds() {
+		if _, ok := registry[k]; ok {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// Registered reports whether a constructor is installed for kind.
+func Registered(kind config.CoreKind) bool {
+	_, ok := registry[kind]
+	return ok
+}
+
 // New constructs the registered engine for m.Kind fed by trace.
 func New(m config.Model, trace Trace) (Engine, error) {
 	c, ok := registry[m.Kind]
 	if !ok {
-		return nil, fmt.Errorf("engine: no engine registered for core kind %d (import the implementing package)", m.Kind)
+		return nil, fmt.Errorf("engine: no engine registered for core kind %v (registered: %v; import the implementing package)",
+			m.Kind, Kinds())
 	}
 	return c(m, trace)
 }

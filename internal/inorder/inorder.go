@@ -5,12 +5,15 @@
 // penalty. Unlike FXA's IXU — which lets not-ready instructions flow
 // through as NOPs — an in-order pipeline stalls when the oldest
 // instruction is not ready (Section II-B of the paper).
+//
+// The fetch/predict/decode path, the idle-skip machinery and the result
+// assembly are the shared stage library (internal/pipeline, DESIGN.md
+// §8.9); this package contributes the scoreboarded in-order issue stage.
 package inorder
 
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"fxa/internal/bpred"
 	"fxa/internal/config"
@@ -19,6 +22,7 @@ import (
 	"fxa/internal/engine"
 	"fxa/internal/isa"
 	"fxa/internal/mem"
+	"fxa/internal/pipeline"
 	"fxa/internal/stats"
 )
 
@@ -27,10 +31,8 @@ import (
 // penalty.
 const issueDepth = 2
 
-// farFuture marks a cycle that never arrives (no event candidate found).
-const farFuture = math.MaxInt64 / 4
-
-// capQ is the fetch-queue capacity (shared between fetch and nextEvent).
+// capQ is the fetch-queue capacity (shared between fetch and the
+// next-event scan).
 func (co *Core) capQ() int {
 	return (co.cfg.FrontendDepth + issueDepth + 2) * co.cfg.FetchWidth
 }
@@ -55,14 +57,11 @@ type Core struct {
 	c   stats.Counters
 
 	cycle      int64
-	fetchStall int64
 	blocked    bool // unresolved mispredicted branch in the queue
 	blockStart int64
-	lastLine   uint64
-	pending    *emu.Record
 
-	// tr is the shared batched-trace consumer (engine layer).
-	tr engine.TraceReader
+	// fe is the shared fetch/predict/decode path (internal/pipeline).
+	fe pipeline.Frontend
 
 	// wd is the shared deadlock watchdog (progress = an issue).
 	wd engine.Watchdog
@@ -70,27 +69,15 @@ type Core struct {
 	queue []*iuop
 
 	regReady [2][isa.NumIntRegs]int64
-	intFU    []int64
-	memFU    []int64
-	fpFU     []int64
+	fu       pipeline.FUPools
 
 	memPortsThisCycle int
 	lastDone          int64
 
-	// dec is the per-PC static decode cache; lastGen tracks the trace
-	// code generation (self-modifying code invalidates the cache — each
-	// slot is still validated against the record's authoritative Inst).
-	dec     decodecache.Cache
-	codeGen engine.CodeGenTrace
-	lastGen uint64
-
-	// Idle-cycle skipping (see Step): when a cycle ends without any
-	// pipeline transition, jump directly to the next cycle at which one
-	// can occur instead of iterating the gap.
-	skipIdle      bool
-	active        bool
-	skippedCycles int64
-	skipSpans     int64
+	// skip is the shared idle-cycle skipper; this core's event sources
+	// are registered at construction (events.go).
+	skip   pipeline.Skipper
+	active bool
 }
 
 // init registers the in-order core with the engine layer, so any package
@@ -111,30 +98,27 @@ func New(cfg config.Model, trace engine.Trace) (*Core, error) {
 		return nil, fmt.Errorf("inorder: model %s is not an in-order core", cfg.Name)
 	}
 	co := &Core{
-		cfg:   cfg,
-		mem:   mem.NewHierarchy(cfg.Mem),
-		bp:    bpred.New(cfg.Bpred),
-		intFU: make([]int64, cfg.IntFUs),
-		memFU: make([]int64, cfg.MemFUs),
-		fpFU:  make([]int64, cfg.FPFUs),
+		cfg: cfg,
+		mem: mem.NewHierarchy(cfg.Mem),
+		bp:  bpred.New(cfg.Bpred),
+		fu:  pipeline.NewFUPools(cfg.IntFUs, cfg.MemFUs, cfg.FPFUs),
 	}
-	co.tr = engine.NewTraceReader(trace)
-	co.skipIdle = engine.IdleSkip()
-	if g, ok := trace.(engine.CodeGenTrace); ok {
-		co.codeGen = g
-		co.lastGen = g.CodeGen()
-	}
+	// CondBTBAlways=false: the in-order front end short-circuits the BTB
+	// lookup for taken conditionals once the direction check fails.
+	co.fe.Init(co.bp, co.mem, trace, false)
+	co.skip.Enabled = engine.IdleSkip()
+	co.registerSkipSources()
 	return co, nil
 }
 
 // SetIdleSkip overrides the process-wide engine.IdleSkip default for this
 // core (testing support for differential skip-on/skip-off runs).
-func (co *Core) SetIdleSkip(on bool) { co.skipIdle = on }
+func (co *Core) SetIdleSkip(on bool) { co.skip.Enabled = on }
 
 // SkipStats reports how many cycles were skipped rather than iterated and
 // across how many idle spans. Deliberately not part of stats.Counters:
 // results must be bit-identical with skipping on and off.
-func (co *Core) SkipStats() (cycles, spans int64) { return co.skippedCycles, co.skipSpans }
+func (co *Core) SkipStats() (cycles, spans int64) { return co.skip.SkipStats() }
 
 // Run simulates to completion and returns the collected statistics. It
 // delegates to engine.Drive, so cancelling ctx interrupts the run within
@@ -148,35 +132,28 @@ func (co *Core) Run(ctx context.Context) (engine.Result, error) {
 // When idle-cycle skipping is enabled and a cycle ends without any
 // pipeline transition (nothing fetched, nothing issued), the loop advances
 // co.cycle directly to just before the next cycle at which a transition is
-// possible (see nextEvent) instead of iterating the gap one side-effect-
-// free cycle at a time. The jump is clamped to the step budget and the
-// watchdog deadline, so Drive's interval cadence and deadlock detection
-// observe exactly the cycles they would have without skipping.
+// possible instead of iterating the gap one side-effect-free cycle at a
+// time. The jump is clamped to the step budget and the watchdog deadline,
+// so Drive's interval cadence and deadlock detection observe exactly the
+// cycles they would have without skipping.
 func (co *Core) Step(nCycles int64) (bool, error) {
-	if co.codeGen != nil {
-		if g := co.codeGen.CodeGen(); g != co.lastGen {
-			co.lastGen = g
-			co.dec.Invalidate()
-		}
-	}
+	co.fe.SyncDecodeCache()
 	for n := int64(0); n < nCycles; n++ {
 		co.cycle++
 		co.memPortsThisCycle = 0
 		co.active = false
 		co.issue()
 		co.fetch()
-		if co.tr.Done() && len(co.queue) == 0 && co.pending == nil {
+		if co.fe.Drained() && len(co.queue) == 0 {
 			return true, nil
 		}
 		if co.wd.Stuck(co.cycle) {
 			return false, co.wd.Fail(co.cfg.Name, co.cycle, fmt.Sprintf("queue=%d", len(co.queue)))
 		}
-		if co.skipIdle && !co.active {
-			if j := co.idleJump(nCycles - 1 - n); j > 0 {
+		if co.skip.Enabled && !co.active {
+			if j := co.skip.Jump(co.cycle, nCycles-1-n, &co.wd); j > 0 {
 				co.cycle += j
 				n += j
-				co.skippedCycles += j
-				co.skipSpans++
 			}
 		}
 	}
@@ -191,18 +168,7 @@ func (co *Core) Result() engine.Result {
 	if co.cycle > end {
 		end = co.cycle
 	}
-	c := co.c
-	c.Cycles = uint64(end)
-	return engine.Result{
-		SchemaVersion: engine.ResultSchemaVersion,
-		Model:         co.cfg.Name,
-		Counters:      c,
-		L1I:           co.mem.L1I.Stats,
-		L1D:           co.mem.L1D.Stats,
-		L2:            co.mem.L2.Stats,
-		DRAM:          co.mem.DRAM.Accesses,
-		Bpred:         co.bp.Stats,
-	}
+	return pipeline.BuildResult(co.cfg.Name, co.c, end, co.mem, co.bp, nil)
 }
 
 // Occupancy reports the issue-queue depth (engine.OccupancyReporter). The
@@ -215,88 +181,30 @@ func (co *Core) Occupancy() (rob, iq int) { return len(co.queue), 0 }
 // the queue just makes the abort explicit.
 func (co *Core) Abort() {
 	co.queue = co.queue[:0]
-	co.pending = nil
+	co.fe.DropReplay()
 	co.blocked = false
 }
 
-func (co *Core) nextRec() (emu.Record, bool) {
-	if co.pending != nil {
-		r := *co.pending
-		co.pending = nil
-		return r, true
-	}
-	return co.tr.Next()
-}
-
-const lineShift = 6
-
 // fetch mirrors the out-of-order front end: predictor consultation,
 // I-cache access per line, fetch groups ending at taken branches, and a
-// stall after a mispredicted branch until it resolves at execute.
+// stall after a mispredicted branch until it resolves at execute. The
+// loop is the shared pipeline.Frontend; this core contributes only iuop
+// construction and the blocked-bit bookkeeping through the admit
+// callback.
 func (co *Core) fetch() {
-	if co.blocked || co.cycle < co.fetchStall {
-		return
-	}
-	capQ := co.capQ()
-	for n := 0; n < co.cfg.FetchWidth && len(co.queue) < capQ; n++ {
-		rec, ok := co.nextRec()
-		if !ok {
-			return
-		}
-		co.active = true
-		line := rec.PC >> lineShift
-		if line+1 != co.lastLine {
-			lat := co.mem.InstFetch(rec.PC)
-			co.lastLine = line + 1
-			hit := co.mem.L1I.Config().HitLatency
-			if lat > hit {
-				co.fetchStall = co.cycle + int64(lat-hit)
-				r := rec
-				co.pending = &r
-				return
-			}
-		}
-		u := &iuop{rec: rec, fetchCycle: co.cycle}
-		u.st = *co.dec.Lookup(rec.PC, rec.Inst)
-		if u.st.IsBranch {
-			co.c.Branches++
-			mispred := false
-			switch {
-			case u.st.IsCond:
-				_, correct := co.bp.PredictConditional(rec.PC, rec.Taken)
-				mispred = !correct
-				if rec.Taken && !mispred && !co.bp.PredictTarget(rec.PC, rec.NextPC) {
-					co.fetchStall = co.cycle + 2
-				}
-			case u.st.IsUncond:
-				if !co.bp.PredictTarget(rec.PC, rec.NextPC) {
-					co.fetchStall = co.cycle + 2
-				}
-			default: // indirect jump: returns via RAS, calls via BTB
-				if u.st.IsReturn {
-					if !co.bp.Return(rec.PC, rec.NextPC) {
-						mispred = true
-					}
-				} else {
-					if !co.bp.PredictTarget(rec.PC, rec.NextPC) {
-						mispred = true
-					}
-					co.bp.Call(rec.PC + 4)
-				}
-			}
+	room := co.capQ() - len(co.queue)
+	fetched := co.fe.FetchCycle(co.cycle, co.blocked, co.cfg.FetchWidth, room, &co.c,
+		func(rec emu.Record, st *decodecache.Static, mispred bool) {
+			u := &iuop{rec: rec, st: *st, fetchCycle: co.cycle}
 			if mispred {
 				u.mispredict = true
-				co.c.BranchMispredicts++
 				co.blocked = true
 				co.blockStart = co.cycle
 			}
-		}
-		co.queue = append(co.queue, u)
-		co.c.FetchedInsts++
-		co.c.DecodeOps++
-		if u.mispredict || rec.Taken {
-			return
-		}
+			co.queue = append(co.queue, u)
+		})
+	if fetched {
+		co.active = true
 	}
 }
 
@@ -324,14 +232,8 @@ func (co *Core) issue() {
 			return
 		}
 		// Structural: FU availability.
-		pool := co.fuPool(cls)
-		fu := -1
-		for i, busy := range pool {
-			if busy <= co.cycle {
-				fu = i
-				break
-			}
-		}
+		pool := co.fu.Pool(cls)
+		fu := pipeline.FirstFree(pool, co.cycle)
 		if fu < 0 {
 			return
 		}
@@ -375,9 +277,7 @@ func (co *Core) issue() {
 		if u.mispredict {
 			resolve := co.cycle + 2
 			resume := resolve + int64(co.cfg.RedirectLatency)
-			if resume > co.fetchStall {
-				co.fetchStall = resume
-			}
+			co.fe.StallUntil(resume)
 			co.blocked = false
 			stall := resume - co.blockStart
 			if stall > 0 {

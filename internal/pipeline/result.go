@@ -1,0 +1,36 @@
+package pipeline
+
+import (
+	"fxa/internal/bpred"
+	"fxa/internal/engine"
+	"fxa/internal/mem"
+	"fxa/internal/stats"
+)
+
+// BuildResult assembles the schema-versioned engine.Result every core
+// returns: the counter snapshot cut at cycles, plus the cache-hierarchy
+// and predictor statistics. It is idempotent and safe to call mid-run —
+// engine.Drive's interval observer snapshots it between Step slices and
+// cuts per-interval deltas from consecutive snapshots, so everything here
+// must be a pure copy of current state.
+//
+// ss is nil for cores without a store-set predictor (the in-order
+// models); the Result's StoreSet stats then stay zero, exactly as those
+// cores historically reported.
+func BuildResult(model string, c stats.Counters, cycles int64, h *mem.Hierarchy, bp *bpred.Predictor, ss *bpred.StoreSet) engine.Result {
+	c.Cycles = uint64(cycles)
+	r := engine.Result{
+		SchemaVersion: engine.ResultSchemaVersion,
+		Model:         model,
+		Counters:      c,
+		L1I:           h.L1I.Stats,
+		L1D:           h.L1D.Stats,
+		L2:            h.L2.Stats,
+		DRAM:          h.DRAM.Accesses,
+		Bpred:         bp.Stats,
+	}
+	if ss != nil {
+		r.StoreSet = ss.Stats
+	}
+	return r
+}

@@ -35,7 +35,7 @@ func addCache(a, b mem.CacheStats) mem.CacheStats {
 func TestIntervalInvariant(t *testing.T) {
 	for _, path := range testKernels(t) {
 		name, prog := compileKernel(t, path)
-		for _, m := range Models() {
+		for _, m := range allKindModels(t) {
 			m := m
 			t.Run(name+"/"+m.Name, func(t *testing.T) {
 				checkIntervalInvariant(t, m, prog, goldenInsts, 10_000)
@@ -53,7 +53,7 @@ func TestIntervalInvariant(t *testing.T) {
 func TestIntervalInvariantMemBound(t *testing.T) {
 	path := testKernels(t)[0]
 	name, prog := compileKernel(t, path)
-	for _, base := range Models() {
+	for _, base := range allKindModels(t) {
 		m := base
 		m.MSHRs = 1
 		t.Run(name+"/"+m.Name+"/mshr1", func(t *testing.T) {

@@ -67,7 +67,7 @@ func runPair(t *testing.T, m Model, prog *asm.Program, insts uint64) {
 func TestSkipDifferentialAllModels(t *testing.T) {
 	for _, path := range testKernels(t) {
 		name, prog := compileKernel(t, path)
-		for _, m := range Models() {
+		for _, m := range allKindModels(t) {
 			m := m
 			t.Run(name+"/"+m.Name, func(t *testing.T) {
 				runPair(t, m, prog, diffInsts)
@@ -92,7 +92,7 @@ loop:	ld r3, 0(r1)
 	halt
 	`
 	prog := asm.MustAssemble(src)
-	for _, base := range Models() {
+	for _, base := range allKindModels(t) {
 		m := base
 		m.MSHRs = 1
 		t.Run(m.Name+"/mshr1", func(t *testing.T) {
@@ -150,7 +150,7 @@ func TestSkipDifferentialSelfModifying(t *testing.T) {
 	if !ref.Halt {
 		t.Fatal("SMC kernel did not halt")
 	}
-	for _, m := range Models() {
+	for _, m := range allKindModels(t) {
 		m := m
 		t.Run(m.Name, func(t *testing.T) {
 			runPair(t, m, prog, 0)
