@@ -25,6 +25,14 @@
 #   make fuzz    run of the core's random-flush fuzzer (FUZZTIME=30s)
 #   make serve-smoke  end-to-end smoke of the fxad daemon over real
 #                HTTP: build, serve, submit, stream, cache-hit, SIGTERM
+#   make cluster-smoke  multi-shard smoke of the sharded fabric: 3 worker
+#                shards + 1 router on loopback, cache federation, a
+#                SIGKILLed shard mid-sweep, bit-identical results
+#   make cluster-chaos  the nightly chaos loop: randomized seeded
+#                shard kills (CHAOS_ITERS/CHAOS_SEED) plus a
+#                router-restart case; logs kept in CHAOS_WORK
+#   make ci-sanity  fail if any CI workflow invokes a make target that
+#                does not exist in this Makefile
 #   make sampling-validate  the sampling differential-validation suite
 #                under -race (CI coverage vs full-detailed truth,
 #                warm-up efficacy, observation-only warm-up marks,
@@ -40,9 +48,10 @@ GO ?= go
 # copy-on-write clones execute on other goroutines, and the serving
 # fabric that multiplexes concurrent tenants onto the sweep path. The
 # shared pipeline stage library rides along because every core built on
-# it runs on sweep worker goroutines. (The root package's multi-worker
-# determinism tests run under race in race-full.)
-RACE_PKGS = ./internal/sweep ./internal/sampling ./internal/emu ./internal/serve ./internal/pipeline
+# it runs on sweep worker goroutines, and the consistent-hash ring is
+# read concurrently by every router pump. (The root package's
+# multi-worker determinism tests run under race in race-full.)
+RACE_PKGS = ./internal/sweep ./internal/sampling ./internal/emu ./internal/serve ./internal/pipeline ./internal/ring
 
 # Perfgate knobs (override on the command line, e.g.
 # `make bench-gate PERFGATE_BENCHOUT=bench-raw.txt`).
@@ -63,7 +72,8 @@ STATICCHECK ?= staticcheck
 
 .PHONY: tier1 check build vet test race race-full lint fmt-check \
 	bench bench-core bench-emu bench-figures bench-gate bench-gate-full \
-	bench-gate-update fuzz serve-smoke sampling-validate sampling-long
+	bench-gate-update fuzz serve-smoke cluster-smoke cluster-chaos \
+	ci-sanity sampling-validate sampling-long
 
 # bench-core profiling knob: when set, the core suite also writes a CPU
 # profile there (e.g. `make bench-core BENCH_CORE_CPUPROFILE=core.pprof`;
@@ -182,3 +192,23 @@ sampling-long:
 # cache, and check SIGTERM drains to a clean exit 0.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Multi-shard smoke of the sharded fabric: 3 worker shards with
+# federated caches + 1 router on loopback ephemeral ports, a full
+# evaluation sweep through the router with one shard SIGKILLed
+# mid-flight, results asserted bit-identical to a local serial run, and
+# the router's resubmission/mark-down counters checked.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+# Nightly chaos loop over the sharded fabric: CHAOS_ITERS sweeps each
+# with a randomly timed, randomly chosen shard SIGKILL (seeded;
+# reproduce with CHAOS_SEED=<seed from the log>), plus a router
+# kill-and-restart case that must be served from the shards' caches.
+cluster-chaos:
+	./scripts/cluster_chaos.sh
+
+# Workflow/Makefile drift gate: every `make <target>` in the CI
+# workflows must exist here.
+ci-sanity:
+	./scripts/ci_sanity.sh

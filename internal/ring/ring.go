@@ -1,0 +1,139 @@
+// Package ring implements consistent hashing over a set of named
+// members — the placement function of the sharded fxad fabric.
+//
+// A Ring is immutable: it is built once from the configured member set
+// and never mutated, so lookups need no locking and every process that
+// builds a Ring from the same member list computes the same placement.
+// Liveness is deliberately not the Ring's concern — callers walk
+// Sequence (the full preference order of a key) and skip members they
+// currently consider dead, which is what makes failover placement
+// deterministic: when a member dies, each of its keys moves to the next
+// live member of its own preference sequence, and moves back when the
+// member recovers.
+//
+// Each member is hashed onto the ring at Replicas virtual points
+// (SHA-256 of "member#i"), which evens out the keyspace split: with the
+// default 64 virtual points per member the largest/smallest ownership
+// ratio across members stays small, and removing one member redistributes
+// only that member's keys (the minimal-reshuffle property, test-pinned).
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-point count used when New is given a
+// non-positive replica count.
+const DefaultReplicas = 64
+
+// point is one virtual position: a member's i-th hash on the ring.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring. The zero value is empty;
+// build one with New.
+type Ring struct {
+	points  []point  // sorted by (hash, member)
+	members []string // sorted, deduplicated
+}
+
+// hash64 maps a string to a ring position: the first 8 bytes of its
+// SHA-256, big-endian. SHA-256 rather than a fast non-cryptographic hash
+// because placement must be identical across processes and architectures
+// forever — the routing key is already a SHA-256 hex digest, so hashing
+// cost is irrelevant next to the simulations being placed.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// New builds a ring over members with the given number of virtual points
+// per member (<= 0 means DefaultReplicas). Duplicate member names are
+// collapsed. An empty member list yields an empty ring.
+func New(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		points:  make([]point, 0, len(uniq)*replicas),
+		members: uniq,
+	}
+	for _, m := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, point{hash: hash64(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	// Tie-break equal hashes by member name so the walk order is fully
+	// deterministic even in the astronomically unlikely collision case.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the ring's member names, sorted. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.members) }
+
+// start returns the index of the first virtual point at or clockwise of
+// key's position (wrapping past the top of the hash space).
+func (r *Ring) start(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member that owns key — the first virtual point
+// clockwise of the key's hash. ok is false only on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.start(key)].member, true
+}
+
+// Sequence returns every member in key's preference order: the owner
+// first, then each further member in the order its first virtual point
+// appears on the clockwise walk from the key. Failover placement walks
+// this sequence skipping dead members, so the fallback shard for a key
+// is as deterministic as its owner.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	seq := make([]string, 0, len(r.members))
+	taken := make(map[string]bool, len(r.members))
+	start := r.start(key)
+	for i := 0; i < len(r.points) && len(seq) < len(r.members); i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !taken[m] {
+			taken[m] = true
+			seq = append(seq, m)
+		}
+	}
+	return seq
+}

@@ -1,0 +1,163 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys generates n distinct routing-key-shaped strings.
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("key-%d", i)
+	}
+	return ks
+}
+
+func TestOwnerDeterministicAndMemberOrderIrrelevant(t *testing.T) {
+	a := New([]string{"s1", "s2", "s3"}, 64)
+	b := New([]string{"s3", "s1", "s2", "s1"}, 64) // shuffled + duplicate
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Len = %d, %d, want 3", a.Len(), b.Len())
+	}
+	for _, k := range keys(1000) {
+		oa, ok := a.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q) not ok on non-empty ring", k)
+		}
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("Owner(%q) differs across construction orders: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+func TestOwnershipCoversAllMembers(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r := New(members, 0) // default replicas
+	counts := make(map[string]int)
+	for _, k := range keys(10_000) {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Errorf("member %q owns no keys out of 10000", m)
+		}
+	}
+	// With 64 virtual points the split should be within a loose band of
+	// the fair share; this pins "virtual points actually even things out"
+	// without being a flaky distribution test.
+	fair := 10_000 / len(members)
+	for m, c := range counts {
+		if c < fair/3 || c > fair*3 {
+			t.Errorf("member %q owns %d keys, outside [%d, %d]", m, c, fair/3, fair*3)
+		}
+	}
+}
+
+// TestMinimalReshuffleOnRemoval pins the property the router's failover
+// depends on: removing one member remaps only the keys that member
+// owned. Every other key keeps its owner.
+func TestMinimalReshuffleOnRemoval(t *testing.T) {
+	full := New([]string{"s1", "s2", "s3", "s4"}, 64)
+	without := New([]string{"s1", "s2", "s4"}, 64)
+	moved := 0
+	for _, k := range keys(5000) {
+		before, _ := full.Owner(k)
+		after, _ := without.Owner(k)
+		if before != "s3" {
+			if before != after {
+				t.Fatalf("key %q moved %q -> %q though its owner survived", k, before, after)
+			}
+			continue
+		}
+		moved++
+		if after == "s3" {
+			t.Fatalf("key %q still owned by removed member", k)
+		}
+		// The new owner must be the next member of the key's original
+		// preference sequence — the shard failover picks exactly this.
+		seq := full.Sequence(k)
+		if len(seq) < 2 || seq[0] != "s3" {
+			t.Fatalf("sequence of %q = %v, want s3 first", k, seq)
+		}
+		if after != seq[1] {
+			t.Fatalf("key %q moved to %q, want next-in-sequence %q", k, after, seq[1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed member; test proves nothing")
+	}
+}
+
+// TestMinimalReshuffleOnAddition: keys that move when a member joins all
+// move to the new member.
+func TestMinimalReshuffleOnAddition(t *testing.T) {
+	before := New([]string{"s1", "s2", "s3"}, 64)
+	after := New([]string{"s1", "s2", "s3", "s4"}, 64)
+	moved, total := 0, 5000
+	for _, k := range keys(total) {
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "s4" {
+			t.Fatalf("key %q moved %q -> %q, but only the new member may gain keys", k, ob, oa)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new member gained no keys")
+	}
+	// Roughly 1/4 of the keyspace should move; allow a wide band.
+	if moved > total/2 {
+		t.Errorf("%d of %d keys moved on one addition; consistent hashing should move ~1/4", moved, total)
+	}
+}
+
+func TestSequence(t *testing.T) {
+	members := []string{"s1", "s2", "s3", "s4"}
+	r := New(members, 64)
+	for _, k := range keys(200) {
+		seq := r.Sequence(k)
+		if len(seq) != len(members) {
+			t.Fatalf("Sequence(%q) has %d entries, want %d", k, len(seq), len(members))
+		}
+		owner, _ := r.Owner(k)
+		if seq[0] != owner {
+			t.Fatalf("Sequence(%q)[0] = %q, Owner = %q", k, seq[0], owner)
+		}
+		seen := make(map[string]bool)
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %q", k, m)
+			}
+			seen[m] = true
+		}
+		// Deterministic.
+		again := r.Sequence(k)
+		for i := range seq {
+			if seq[i] != again[i] {
+				t.Fatalf("Sequence(%q) not deterministic: %v vs %v", k, seq, again)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingleRing(t *testing.T) {
+	empty := New(nil, 64)
+	if _, ok := empty.Owner("k"); ok {
+		t.Error("empty ring claims an owner")
+	}
+	if seq := empty.Sequence("k"); seq != nil {
+		t.Errorf("empty ring Sequence = %v, want nil", seq)
+	}
+	single := New([]string{"only"}, 64)
+	for _, k := range keys(50) {
+		if o, ok := single.Owner(k); !ok || o != "only" {
+			t.Fatalf("single-member ring Owner(%q) = %q, %v", k, o, ok)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,8 +17,9 @@ import (
 	"fxa/internal/engine"
 )
 
-// Client talks to a running fxad daemon. The zero value is not usable;
-// set BaseURL (and optionally Tenant / HTTPClient).
+// Client talks to a running fxad daemon — a worker shard or a router;
+// the wire surface is the same. The zero value is not usable; set
+// BaseURL (and optionally Tenant / HTTPClient).
 type Client struct {
 	// BaseURL roots the API, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -26,6 +28,39 @@ type Client struct {
 	// HTTPClient defaults to http.DefaultClient. Streaming requests are
 	// long-lived, so a client with a global Timeout will sever them.
 	HTTPClient *http.Client
+	// MaxRetries bounds how often Wait/WaitSample re-attach after a
+	// transport failure (the server replays the full event log on every
+	// attach, so a re-attach loses nothing). <= 0 means
+	// DefaultMaxRetries; negative disables re-attach entirely.
+	MaxRetries int
+}
+
+// DefaultMaxRetries is the Wait/WaitSample re-attach budget when the
+// Client leaves MaxRetries 0.
+const DefaultMaxRetries = 4
+
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries > 0:
+		return c.MaxRetries
+	case c.MaxRetries < 0:
+		return 0
+	}
+	return DefaultMaxRetries
+}
+
+// StatusError is a non-2xx reply the server actually sent — as opposed
+// to a transport failure, where no reply arrived at all. The router's
+// failover and the client's re-attach both branch on this distinction:
+// a spoken rejection is authoritative (retrying elsewhere or again won't
+// change a 400), while a transport failure says nothing about the job.
+type StatusError struct {
+	Code int    // HTTP status code
+	Msg  string // wire error message (or raw body)
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: %d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
 }
 
 func (c *Client) http() *http.Client {
@@ -39,16 +74,16 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.BaseURL, "/") + path
 }
 
-// decodeError turns a non-2xx response into an error carrying the wire
-// message.
+// decodeError turns a non-2xx response into a *StatusError carrying the
+// wire message.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var er ErrorReply
 	if json.Unmarshal(body, &er) == nil && er.Error != "" {
-		return fmt.Errorf("serve: %s: %s", resp.Status, er.Error)
+		return &StatusError{Code: resp.StatusCode, Msg: er.Error}
 	}
-	return fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	return &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
 }
 
 // Submit submits one job and returns its ID. Backpressure (429) and
@@ -148,13 +183,50 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) er
 	return fmt.Errorf("serve: stream %s ended without a terminal event", id)
 }
 
-// Wait streams a job to its terminal event and returns the result. A
+// streamResilient is Stream plus transport-failure re-attach: when a
+// stream dies without the server having spoken (connection reset, route
+// blip, stream truncated before its terminal event), it re-attaches and
+// relies on the full-log replay plus Seq deduplication to deliver every
+// event to fn exactly once. Authoritative replies (*StatusError) and
+// context expiry are not retried. The retry budget is Client.MaxRetries.
+func (c *Client) streamResilient(ctx context.Context, id string, fn func(Event) error) error {
+	lastSeq := -1
+	retries := 0
+	for {
+		err := c.Stream(ctx, id, func(e Event) error {
+			if e.Seq <= lastSeq {
+				return nil // replayed on re-attach
+			}
+			lastSeq = e.Seq
+			return fn(e)
+		})
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			return err // the server spoke; retrying won't change its mind
+		}
+		if retries >= c.maxRetries() {
+			return err
+		}
+		retries++
+		select {
+		case <-time.After(time.Duration(retries) * 100 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Wait streams a job to its terminal event and returns the result,
+// re-attaching across transport failures (see streamResilient). A
 // remote error or cancellation comes back as an error carrying the wire
 // message. cacheHit reports whether the result came from the shared
 // cache or was collapsed onto a concurrent identical run.
 func (c *Client) Wait(ctx context.Context, id string) (res engine.Result, cacheHit bool, err error) {
 	var term *Event
-	err = c.Stream(ctx, id, func(e Event) error {
+	err = c.streamResilient(ctx, id, func(e Event) error {
 		if e.Terminal() {
 			term = &e
 		}
@@ -179,7 +251,7 @@ func (c *Client) Wait(ctx context.Context, id string) (res engine.Result, cacheH
 // event carries a Result, not a Summary.
 func (c *Client) WaitSample(ctx context.Context, id string) (fxa.SamplingSummary, error) {
 	var term *Event
-	err := c.Stream(ctx, id, func(e Event) error {
+	err := c.streamResilient(ctx, id, func(e Event) error {
 		if e.Terminal() {
 			term = &e
 		}

@@ -1,0 +1,92 @@
+package serve
+
+// Cache federation: the client half of GET /v1/cache/{key}.
+//
+// Every shard of a sharded fabric owns its slice of the keyspace, but
+// membership changes move keys: when a shard dies, its keys fail over to
+// the next shard of their preference sequence, which now misses its
+// local cache for work a peer already paid for. CacheFallback closes
+// that gap — installed as the local cache's second-level lookup
+// (sweep.Cache.SetFallback), it asks each peer shard for the entry
+// before the flight leader simulates. Only flight leaders consult it
+// (see internal/sweep/flight.go), so concurrent identical jobs cost at
+// most one peer sweep, and a federated answer is adopted into the local
+// cache, so each migrated key is fetched at most once.
+//
+// Federation is strictly best-effort: any failure — peer down, timeout,
+// miss, undecodable body — just means the leader simulates, which is
+// always correct.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"fxa/internal/engine"
+	"fxa/internal/sweep"
+)
+
+// DefaultFederationTimeout bounds one peer lookup when CacheFallback is
+// given no timeout. Short on purpose: a peer that cannot answer a disk
+// read quickly is effectively down, and simulating locally is the
+// correct fallback.
+const DefaultFederationTimeout = 2 * time.Second
+
+// CacheFallback builds a sweep.FallbackFunc that asks each peer shard
+// (skipping self, compared after trailing-slash normalization) for the
+// key before simulating. peers is consulted on every lookup, so a
+// source that re-reads a peers file picks up membership changes without
+// a restart. The first peer with the entry wins; peers are tried in the
+// order returned.
+func CacheFallback(self string, peers func() []string, httpc *http.Client, timeout time.Duration) sweep.FallbackFunc {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	if timeout <= 0 {
+		timeout = DefaultFederationTimeout
+	}
+	norm := func(u string) string { return strings.TrimRight(strings.TrimSpace(u), "/") }
+	me := norm(self)
+	return func(ctx context.Context, key string) (engine.Result, bool) {
+		for _, peer := range peers() {
+			p := norm(peer)
+			if p == "" || p == me {
+				continue
+			}
+			if res, ok := fetchPeerEntry(ctx, httpc, p, key, timeout); ok {
+				return res, true
+			}
+			if ctx.Err() != nil {
+				return engine.Result{}, false
+			}
+		}
+		return engine.Result{}, false
+	}
+}
+
+// fetchPeerEntry asks one peer for one cache entry.
+func fetchPeerEntry(ctx context.Context, httpc *http.Client, peer, key string, timeout time.Duration) (engine.Result, bool) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+key, nil)
+	if err != nil {
+		return engine.Result{}, false
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return engine.Result{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return engine.Result{}, false
+	}
+	var res engine.Result
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&res); err != nil {
+		return engine.Result{}, false
+	}
+	return res, true
+}

@@ -1,0 +1,273 @@
+package serve
+
+// Health-checked shard membership for the router.
+//
+// The monitor probes every shard's GET /healthz on a fixed interval
+// (all shards in parallel, each probe under its own timeout) and runs a
+// small per-shard state machine:
+//
+//	up   --[FailAfter consecutive probe failures]-->  down
+//	down --[one successful probe]-->                  up
+//
+// Shards start optimistic (up) and the first probe round fires
+// immediately, so a shard that is dead at router boot is marked down
+// within FailAfter probe intervals, and a misrouted job in that window
+// just fails over through the pump's own transport-error handling. The
+// router also kicks an immediate out-of-band probe whenever a proxied
+// stream breaks, so membership converges at transport-failure speed, not
+// probe-interval speed.
+//
+// Successful probes additionally record the shard's reported queue depth
+// and running count — the per-shard backlog observability that keeps
+// dispatch decisions inspectable (GET /v1/stats on the router).
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ProbeConfig parameterizes shard health checking.
+type ProbeConfig struct {
+	// Interval between probe rounds. <= 0 means DefaultProbeInterval.
+	Interval time.Duration
+	// Timeout bounds one probe. <= 0 means DefaultProbeTimeout.
+	Timeout time.Duration
+	// FailAfter is the number of consecutive probe failures that marks a
+	// shard down. <= 0 means DefaultProbeFailAfter.
+	FailAfter int
+}
+
+// Defaults for ProbeConfig's zero fields.
+const (
+	DefaultProbeInterval  = 500 * time.Millisecond
+	DefaultProbeTimeout   = 2 * time.Second
+	DefaultProbeFailAfter = 2
+)
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.Interval <= 0 {
+		c.Interval = DefaultProbeInterval
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultProbeTimeout
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = DefaultProbeFailAfter
+	}
+	return c
+}
+
+// shardProbe is one shard's membership state. All mutable fields are
+// guarded by monitor.mu.
+type shardProbe struct {
+	url    string
+	client *Client
+
+	up      bool
+	fails   int // consecutive probe failures
+	lastErr string
+	probed  time.Time // when the last probe finished
+	queued  int       // from the last successful /healthz
+	running int
+}
+
+// monitor owns the probe loop over a fixed shard set.
+type monitor struct {
+	cfg  ProbeConfig
+	mu   sync.Mutex
+	byID map[string]*shardProbe
+	urls []string // stable iteration order
+
+	kick chan string // out-of-band probe requests (shard URL)
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newMonitor builds a monitor over the shard URLs. Shards start up;
+// call start to begin probing (tests drive probeAll directly instead).
+func newMonitor(shards []string, cfg ProbeConfig, httpc *http.Client) *monitor {
+	m := &monitor{
+		cfg:  cfg.withDefaults(),
+		byID: make(map[string]*shardProbe, len(shards)),
+		kick: make(chan string, len(shards)+4),
+		stop: make(chan struct{}),
+	}
+	for _, u := range shards {
+		if _, dup := m.byID[u]; dup {
+			continue
+		}
+		m.byID[u] = &shardProbe{
+			url:    u,
+			client: &Client{BaseURL: u, HTTPClient: httpc},
+			up:     true,
+		}
+		m.urls = append(m.urls, u)
+	}
+	sort.Strings(m.urls)
+	return m
+}
+
+// start launches the probe loop: an immediate first round, then one
+// round per interval, plus immediate single-shard probes on kicks.
+func (m *monitor) start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.probeAll()
+		t := time.NewTicker(m.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.probeAll()
+			case url := <-m.kick:
+				if p := m.probe(url); p != nil {
+					m.record(p)
+				}
+			}
+		}
+	}()
+}
+
+// close stops the probe loop.
+func (m *monitor) close() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+// kickProbe requests an immediate probe of one shard — the router calls
+// this when a proxied stream breaks, so a dying shard is confirmed down
+// at transport speed instead of waiting out FailAfter slow intervals.
+// Best-effort: if the kick queue is full a round is already imminent.
+func (m *monitor) kickProbe(url string) {
+	select {
+	case m.kick <- url:
+	default:
+	}
+}
+
+// probeResult is one finished probe, to be folded into the state.
+type probeResult struct {
+	url     string
+	ok      bool
+	errMsg  string
+	queued  int
+	running int
+}
+
+// probe runs one health check against a shard. Returns nil for unknown
+// URLs.
+func (m *monitor) probe(url string) *probeResult {
+	m.mu.Lock()
+	sp := m.byID[url]
+	m.mu.Unlock()
+	if sp == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.Timeout)
+	defer cancel()
+	h, err := sp.client.Healthz(ctx)
+	if err != nil {
+		return &probeResult{url: url, ok: false, errMsg: err.Error()}
+	}
+	return &probeResult{url: url, ok: true, queued: h.Queued, running: h.Running}
+}
+
+// record folds one probe outcome into the shard's state machine.
+func (m *monitor) record(r *probeResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sp := m.byID[r.url]
+	if sp == nil {
+		return
+	}
+	sp.probed = time.Now()
+	if r.ok {
+		sp.fails = 0
+		sp.lastErr = ""
+		sp.queued, sp.running = r.queued, r.running
+		sp.up = true // mark-up on recovery: one good probe suffices
+		return
+	}
+	sp.fails++
+	sp.lastErr = r.errMsg
+	if sp.up && sp.fails >= m.cfg.FailAfter {
+		sp.up = false
+	}
+}
+
+// probeAll runs one probe round: every shard in parallel, then all
+// outcomes folded in. Exposed (unexported) so tests can step the state
+// machine deterministically without running the loop.
+func (m *monitor) probeAll() {
+	m.mu.Lock()
+	urls := m.urls
+	m.mu.Unlock()
+	results := make([]*probeResult, len(urls))
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			results[i] = m.probe(u)
+		}(i, u)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r != nil {
+			m.record(r)
+		}
+	}
+}
+
+// live returns the URLs of the shards currently marked up, sorted.
+func (m *monitor) live() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, u := range m.urls {
+		if m.byID[u].up {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// isUp reports one shard's membership.
+func (m *monitor) isUp(url string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sp := m.byID[url]
+	return sp != nil && sp.up
+}
+
+// snapshot returns every shard's state for the router's stats view.
+func (m *monitor) snapshot() []ShardHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ShardHealth, 0, len(m.urls))
+	now := time.Now()
+	for _, u := range m.urls {
+		sp := m.byID[u]
+		sh := ShardHealth{
+			URL:              u,
+			Up:               sp.up,
+			ConsecutiveFails: sp.fails,
+			LastError:        sp.lastErr,
+			Queued:           sp.queued,
+			Running:          sp.running,
+		}
+		if !sp.probed.IsZero() {
+			sh.ProbeAgeMS = now.Sub(sp.probed).Milliseconds()
+		} else {
+			sh.ProbeAgeMS = -1
+		}
+		out = append(out, sh)
+	}
+	return out
+}

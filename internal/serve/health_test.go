@@ -1,0 +1,151 @@
+package serve
+
+// Mark-down/mark-up state machine of the router's shard health monitor,
+// driven synchronously through probeAll so every transition is
+// deterministic — no timers, no sleeps.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyShard is a /healthz endpoint whose failure mode can be toggled.
+type flakyShard struct {
+	failing atomic.Bool
+	queued  atomic.Int64
+	running atomic.Int64
+}
+
+func (f *flakyShard) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.failing.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, Health{
+			Status:  "ok",
+			Queued:  int(f.queued.Load()),
+			Running: int(f.running.Load()),
+		})
+	})
+}
+
+func TestMarkDownAfterConsecutiveFailuresAndMarkUpOnRecovery(t *testing.T) {
+	shard := &flakyShard{}
+	ts := httptest.NewServer(shard.handler())
+	defer ts.Close()
+
+	m := newMonitor([]string{ts.URL}, ProbeConfig{FailAfter: 3}, nil)
+	if !m.isUp(ts.URL) {
+		t.Fatal("shards must start optimistic (up)")
+	}
+
+	// Healthy probes keep it up and reset nothing.
+	m.probeAll()
+	if !m.isUp(ts.URL) {
+		t.Fatal("up shard marked down by a successful probe")
+	}
+
+	// Failures below the threshold leave it up.
+	shard.failing.Store(true)
+	m.probeAll()
+	m.probeAll()
+	if !m.isUp(ts.URL) {
+		t.Fatal("shard marked down before FailAfter consecutive failures")
+	}
+	if sn := m.snapshot(); sn[0].ConsecutiveFails != 2 {
+		t.Fatalf("ConsecutiveFails = %d, want 2", sn[0].ConsecutiveFails)
+	}
+
+	// The FailAfter-th consecutive failure marks it down.
+	m.probeAll()
+	if m.isUp(ts.URL) {
+		t.Fatal("shard still up after FailAfter consecutive failures")
+	}
+	if live := m.live(); len(live) != 0 {
+		t.Fatalf("live() = %v, want empty", live)
+	}
+
+	// An intervening success resets the streak...
+	shard.failing.Store(false)
+	m.probeAll()
+	if !m.isUp(ts.URL) {
+		t.Fatal("one successful probe must mark a down shard up again")
+	}
+	// ...so the count-to-mark-down starts over.
+	shard.failing.Store(true)
+	m.probeAll()
+	m.probeAll()
+	if !m.isUp(ts.URL) {
+		t.Fatal("failure streak must restart after a recovery")
+	}
+}
+
+func TestUnreachableShardIsMarkedDown(t *testing.T) {
+	// A server brought up and torn down immediately yields an address
+	// that refuses connections.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+
+	m := newMonitor([]string{url}, ProbeConfig{FailAfter: 2}, nil)
+	m.probeAll()
+	if !m.isUp(url) {
+		t.Fatal("one transport failure must not mark down with FailAfter=2")
+	}
+	m.probeAll()
+	if m.isUp(url) {
+		t.Fatal("unreachable shard still up after FailAfter probes")
+	}
+	sn := m.snapshot()
+	if sn[0].LastError == "" {
+		t.Error("snapshot of a down shard must carry the probe error")
+	}
+}
+
+func TestSnapshotReportsShardBacklog(t *testing.T) {
+	a := &flakyShard{}
+	a.queued.Store(7)
+	a.running.Store(3)
+	tsA := httptest.NewServer(a.handler())
+	defer tsA.Close()
+	b := &flakyShard{}
+	b.failing.Store(true)
+	tsB := httptest.NewServer(b.handler())
+	defer tsB.Close()
+
+	m := newMonitor([]string{tsA.URL, tsB.URL}, ProbeConfig{FailAfter: 1}, nil)
+	m.probeAll()
+
+	byURL := make(map[string]ShardHealth)
+	for _, sh := range m.snapshot() {
+		byURL[sh.URL] = sh
+	}
+	if sh := byURL[tsA.URL]; !sh.Up || sh.Queued != 7 || sh.Running != 3 {
+		t.Errorf("shard A snapshot = %+v, want up with queued=7 running=3", sh)
+	}
+	if sh := byURL[tsB.URL]; sh.Up {
+		t.Errorf("shard B snapshot = %+v, want down (FailAfter=1)", sh)
+	}
+	if live := m.live(); len(live) != 1 || live[0] != tsA.URL {
+		t.Errorf("live() = %v, want exactly shard A", live)
+	}
+	if sh := byURL[tsA.URL]; sh.ProbeAgeMS < 0 {
+		t.Errorf("probed shard reports ProbeAgeMS = %d, want >= 0", sh.ProbeAgeMS)
+	}
+}
+
+func TestKickProbeIsNonBlocking(t *testing.T) {
+	shard := &flakyShard{}
+	ts := httptest.NewServer(shard.handler())
+	defer ts.Close()
+	m := newMonitor([]string{ts.URL}, ProbeConfig{}, nil)
+	// Never started: the kick queue drains nowhere, and overflowing it
+	// must drop kicks rather than block the caller (the router pumps
+	// kick from their failure paths).
+	for i := 0; i < 100; i++ {
+		m.kickProbe(ts.URL)
+	}
+}

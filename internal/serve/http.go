@@ -10,18 +10,34 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs      submit a JobSpec; 202 + {id}, 429 when full
-//	GET    /v1/jobs/{id} NDJSON event stream (replay + live until terminal)
-//	DELETE /v1/jobs/{id} cancel a queued or in-flight job
-//	GET    /v1/stats     fabric counters (queues, cache, tenants)
-//	GET    /healthz      liveness + build version
+//	POST   /v1/jobs        submit a JobSpec; 202 + {id}, 429 when full
+//	GET    /v1/jobs/{id}   NDJSON event stream (replay + live until terminal)
+//	DELETE /v1/jobs/{id}   cancel a queued or in-flight job
+//	GET    /v1/stats       fabric counters (queues, cache, tenants)
+//	GET    /v1/cache/{key} raw cached result by content address (federation, wire v3)
+//	GET    /healthz        liveness + build version
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// RouterHandler returns a router-mode daemon's HTTP API — the same
+// surface a worker shard serves (minus the cache endpoint: a router has
+// no cache), so every client of a single fxad keeps working unchanged
+// when pointed at a router.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleCancel)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
 	return mux
 }
 
@@ -67,19 +83,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, SubmitReply{ID: jr.id, Status: stateQueued.String()})
 }
 
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	jr, ok := s.Job(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q (completed jobs are retained for re-attach up to the retention cap)", r.PathValue("id")), 0)
-		return
-	}
+// streamLog serves a replayable event log as NDJSON: replay everything
+// logged so far, then follow live until the terminal event or the client
+// disconnects. snap is the log's snapshot accessor (jobRec.snapshot) —
+// shard and router job logs share this loop.
+func streamLog(w http.ResponseWriter, r *http.Request, snap func(from int) ([]Event, <-chan struct{}, bool)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	pos := 0
 	for {
-		evs, notify, terminal := jr.snapshot(pos)
+		evs, notify, terminal := snap(pos)
 		for i := range evs {
 			if err := enc.Encode(&evs[i]); err != nil {
 				return // client went away; the job keeps running
@@ -100,6 +115,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	jr, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q (completed jobs are retained for re-attach up to the retention cap)", r.PathValue("id")), 0)
+		return
+	}
+	streamLog(w, r, jr.snapshot)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -124,4 +148,100 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// validCacheKey admits exactly the keys sweep.Key produces: a lowercase
+// hex SHA-256. Everything else is rejected before it can reach the
+// filesystem-backed cache as a path fragment.
+func validCacheKey(k string) bool {
+	if len(k) != 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleCachePeek is the cache-federation read path (wire v3): a peer
+// shard that missed its local cache asks for the raw stored entry before
+// paying for a simulation. Served bytes are exactly the on-disk entry
+// (sweep.Cache.Peek), and the lookup does not touch this shard's own
+// hit/miss counters or its fallback — federation must not recurse or
+// skew local stats.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: cache key must be a lowercase hex sha-256"), 0)
+		return
+	}
+	if s.cfg.Cache == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: caching is disabled on this shard"), 0)
+		return
+	}
+	b, ok := s.cfg.Cache.Peek(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no cache entry for %s", key), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+// Router-mode handlers: same wire surface as a shard's, backed by the
+// router's own job store and proxy pumps.
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode job spec: %w", err), 0)
+		return
+	}
+	rj, err := rt.Submit(spec)
+	if err != nil {
+		if errors.Is(err, errDraining) {
+			writeError(w, http.StatusServiceUnavailable, err, 1)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitReply{ID: rj.id, Status: stateQueued.String()})
+}
+
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	rj, ok := rt.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q (completed jobs are retained for re-attach up to the retention cap)", r.PathValue("id")), 0)
+		return
+	}
+	streamLog(w, r, rj.snapshot)
+}
+
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, ok := rt.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id), 0)
+		return
+	}
+	status := state.String()
+	if state == stateRunning {
+		status = "cancelling"
+	}
+	writeJSON(w, http.StatusOK, CancelReply{ID: id, Status: status})
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Health())
 }

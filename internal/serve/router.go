@@ -1,0 +1,535 @@
+package serve
+
+// Router mode: horizontal sharding of the fxad fabric.
+//
+// A router is an fxad process that owns no worker pool. It places every
+// submitted job on one of a fixed set of worker shards by consistent-
+// hashing the job's content address (the same fingerprint that keys the
+// result cache) onto a ring (internal/ring), proxies the shard's NDJSON
+// event stream through to its own replayable per-job event log, and
+// watches shard health (health.go). Because identical jobs hash to the
+// same shard, the fabric keeps the single-process fabric's economics:
+// one simulation per distinct cell, fabric-wide, with singleflight
+// collapsing intact on the owning shard.
+//
+// Failure handling leans entirely on determinism. When a shard dies
+// mid-job (stream breaks, or the shard drained the job away), the router
+// re-resolves the key's preference sequence against current liveness and
+// resubmits the identical spec to the next live shard. The rerun is
+// bit-identical — same spec, same simulator — and usually free (the
+// result may already sit in a peer's cache, reachable through cache
+// federation), so replaying is safe by construction: the router forwards
+// each event kind only past the count it already logged, and holds
+// terminal events back until it decides the attempt actually concluded
+// the job. A watcher of the router's stream therefore sees exactly one
+// "queued", at most one "started", each interval once, and exactly one
+// terminal event, no matter how many shards died along the way.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"fxa"
+	"fxa/internal/ring"
+	"fxa/internal/sweep"
+)
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Shards are the worker shards' base URLs. At least one is required.
+	Shards []string
+
+	// Probe configures shard health checking.
+	Probe ProbeConfig
+
+	// MaxAttempts bounds how many shard submissions one job may consume
+	// before the router fails it. <= 0 means len(Shards)+2: enough to
+	// try every shard and absorb one recovery.
+	MaxAttempts int
+
+	// RetainJobs bounds completed job records kept for re-attach; the
+	// oldest are evicted first. <= 0 means DefaultRetainJobs.
+	RetainJobs int
+
+	// Version is reported at /healthz.
+	Version string
+
+	// HTTPClient is used for shard traffic (probes, submissions,
+	// streams). nil means http.DefaultClient. Streams are long-lived, so
+	// a client with a global Timeout will sever them.
+	HTTPClient *http.Client
+}
+
+// routerJob is one job the router accepted: the shard-facing spec, the
+// routing key, and the client-facing event log (reusing jobRec's
+// replayable-log machinery; jr.model/workload hold the validated names).
+type routerJob struct {
+	*jobRec
+	key string
+
+	// Guarded by Router.mu.
+	shard        string          // shard currently running the job ("" before placement)
+	failedShards map[string]bool // shards that already failed this job
+}
+
+// Router is the routing fabric: job store, placement ring, shard health.
+type Router struct {
+	cfg   RouterConfig
+	ring  *ring.Ring
+	mon   *monitor
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*routerJob
+	terminal []string
+	nextID   uint64
+	draining bool
+
+	submitted, completed, failed, cancelled uint64
+	resubmitted                             uint64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup // job pumps
+}
+
+// NewRouter builds a Router over the configured shards and starts its
+// health monitor. Callers must Shutdown (or Close) it.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one shard")
+	}
+	r := ring.New(cfg.Shards, 0)
+	if r.Len() == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one non-empty shard URL")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = r.Len() + 2
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = DefaultRetainJobs
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := &Router{
+		cfg:        cfg,
+		ring:       r,
+		mon:        newMonitor(r.Members(), cfg.Probe, cfg.HTTPClient),
+		start:      time.Now(),
+		jobs:       make(map[string]*routerJob),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	rt.mon.start()
+	return rt, nil
+}
+
+// RoutingKey computes the placement key for a spec. For cacheable jobs
+// it is exactly the result-cache key of the equivalent local sweep job,
+// so identical cells land on the same shard as each other and as the
+// cache entry they produce. Jobs outside the cache domain (sampled or
+// no-cache) are keyed by their canonical spec encoding — still
+// deterministic placement, just not cache-aligned (there is no cache
+// entry to align with). Tenant and priority are deliberately excluded:
+// two tenants submitting the same cell must collapse onto one
+// simulation.
+func RoutingKey(spec JobSpec, m fxa.Model, w fxa.Workload) (string, error) {
+	if spec.Sample == nil && !spec.NoCache {
+		return sweep.Key(fxa.EvaluationJob(m, w, spec.Warmup, spec.MaxInsts).Fingerprint)
+	}
+	anon := spec
+	anon.Tenant = ""
+	anon.Priority = 0
+	b, err := json.Marshal(&anon)
+	if err != nil {
+		return "", fmt.Errorf("serve: routing key: %w", err)
+	}
+	return sweep.Key(json.RawMessage(b))
+}
+
+// Submit validates and places one job, returning its record. The pump
+// goroutine does the actual shard traffic; Submit itself never blocks on
+// a shard.
+func (rt *Router) Submit(spec JobSpec) (*routerJob, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = "anon"
+	}
+	m, err := fxa.ModelByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	w, err := fxa.WorkloadByName(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	key, err := RoutingKey(spec, m, w)
+	if err != nil {
+		return nil, err
+	}
+
+	rt.mu.Lock()
+	if rt.draining {
+		rt.mu.Unlock()
+		return nil, errDraining
+	}
+	rt.nextID++
+	id := fmt.Sprintf("r-%06d", rt.nextID)
+	rj := &routerJob{
+		jobRec:       newJobRec(rt.baseCtx, id, rt.nextID, spec, m, w),
+		key:          key,
+		failedShards: make(map[string]bool),
+	}
+	rj.state = stateQueued
+	rj.append(Event{Event: EventQueued})
+	rt.jobs[id] = rj
+	rt.submitted++
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+
+	go rt.pump(rj)
+	return rj, nil
+}
+
+// Job returns the record for id, if it is still retained.
+func (rt *Router) Job(id string) (*routerJob, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rj, ok := rt.jobs[id]
+	return rj, ok
+}
+
+// pickShard resolves the job's target: the first live member of the
+// key's ring sequence that has not already failed this job. If every
+// live shard has failed it, the failure set is forgiven (a shard may
+// have restarted since) and the first live member is retried. ok is
+// false only when no shard is live at all.
+func (rt *Router) pickShard(rj *routerJob) (string, bool) {
+	seq := rt.ring.Sequence(rj.key)
+	rt.mu.Lock()
+	failed := make([]string, 0, len(rj.failedShards))
+	for s := range rj.failedShards {
+		failed = append(failed, s)
+	}
+	rt.mu.Unlock()
+	isFailed := func(s string) bool {
+		for _, f := range failed {
+			if f == s {
+				return true
+			}
+		}
+		return false
+	}
+	var firstLive string
+	for _, s := range seq {
+		if !rt.mon.isUp(s) {
+			continue
+		}
+		if firstLive == "" {
+			firstLive = s
+		}
+		if !isFailed(s) {
+			return s, true
+		}
+	}
+	if firstLive != "" {
+		rt.mu.Lock()
+		rj.failedShards = make(map[string]bool) // forgive: all live shards failed once
+		rt.mu.Unlock()
+		return firstLive, true
+	}
+	return "", false
+}
+
+// isPermanentSubmitErr reports whether a shard's submit rejection would
+// recur on any shard (a spec problem, not a shard problem). Backpressure
+// and drain statuses are retried inside Client.Submit and never surface
+// here.
+func isPermanentSubmitErr(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code >= 400 && se.Code < 500
+}
+
+// shardDrainedJob recognizes the error event a shard records for jobs it
+// dropped on shutdown — a shard failure from the router's perspective,
+// not a job failure, so the job is resubmitted elsewhere.
+func shardDrainedJob(msg string) bool {
+	return msg == "serve: server shut down before the job ran"
+}
+
+// pump drives one job to completion: place it on a shard, proxy the
+// event stream into the router's log, and on shard failure re-place and
+// replay. Runs in its own goroutine; exits only after the router's log
+// has a terminal event.
+func (rt *Router) pump(rj *routerJob) {
+	defer rt.wg.Done()
+
+	client := func(shard string) *Client {
+		return &Client{BaseURL: shard, HTTPClient: rt.cfg.HTTPClient}
+	}
+
+	// already[kind] counts events of each kind in the router's log —
+	// the replay-dedup floor. The router's own "queued" is in the log
+	// already, so shard-side "queued" events are naturally suppressed.
+	already := map[string]int{EventQueued: 1}
+
+	attempts := 0
+	var lastErr error
+	for attempts < rt.cfg.MaxAttempts {
+		if rj.ctx.Err() != nil {
+			rt.finish(rj, Event{Event: EventCancelled, Error: rj.ctx.Err().Error()})
+			return
+		}
+		shard, ok := rt.pickShard(rj)
+		if !ok {
+			rt.finish(rj, Event{Event: EventError, Error: "serve: no live shard (all shards marked down)"})
+			return
+		}
+		attempts++
+		c := client(shard)
+		id, err := c.Submit(rj.ctx, rj.spec)
+		if err != nil {
+			if rj.ctx.Err() != nil {
+				rt.finish(rj, Event{Event: EventCancelled, Error: rj.ctx.Err().Error()})
+				return
+			}
+			if isPermanentSubmitErr(err) {
+				rt.finish(rj, Event{Event: EventError, Error: err.Error()})
+				return
+			}
+			lastErr = err
+			rt.markShardFailed(rj, shard)
+			continue
+		}
+		rt.mu.Lock()
+		rj.shard = shard
+		if rj.state == stateQueued {
+			rj.state = stateRunning
+		}
+		if attempts > 1 {
+			rt.resubmitted++
+		}
+		rt.mu.Unlock()
+
+		// Proxy this attempt's stream. Non-terminal events are forwarded
+		// past the already-logged count for their kind; the terminal is
+		// held back until the attempt's outcome is classified below.
+		attemptSeen := make(map[string]int)
+		var term *Event
+		err = c.Stream(rj.ctx, id, func(e Event) error {
+			if e.Terminal() {
+				term = &e
+				return nil
+			}
+			attemptSeen[e.Event]++
+			if attemptSeen[e.Event] <= already[e.Event] {
+				return nil // replayed event the log already has
+			}
+			already[e.Event]++
+			fwd := e
+			fwd.Job, fwd.Seq = "", 0 // re-stamped by append
+			if fwd.Event == EventStarted {
+				fwd.Shard = shard
+			}
+			rj.append(fwd)
+			return nil
+		})
+
+		switch {
+		case err == nil && term != nil:
+			if term.Event == EventError && shardDrainedJob(term.Error) {
+				// The shard shut down under the job: a shard failure,
+				// not a job failure. Re-place.
+				lastErr = fmt.Errorf("serve: shard %s drained the job", shard)
+				rt.markShardFailed(rj, shard)
+				continue
+			}
+			fwd := *term
+			fwd.Job, fwd.Seq = "", 0
+			rt.finish(rj, fwd)
+			return
+		case rj.ctx.Err() != nil:
+			rt.forwardCancel(rj, c, id)
+			rt.finish(rj, Event{Event: EventCancelled, Error: rj.ctx.Err().Error()})
+			return
+		default:
+			// Transport failure (shard died mid-stream, connection reset,
+			// stream ended without a terminal) or the shard restarted and
+			// no longer knows the id. Confirm the shard's health promptly
+			// and re-place.
+			if err == nil {
+				err = fmt.Errorf("serve: shard %s stream ended without a terminal event", shard)
+			}
+			lastErr = err
+			rt.markShardFailed(rj, shard)
+			continue
+		}
+	}
+	rt.finish(rj, Event{Event: EventError,
+		Error: fmt.Sprintf("serve: job gave up after %d shard attempts: %v", attempts, lastErr)})
+}
+
+// markShardFailed records a shard failure for this job and kicks an
+// immediate health probe so membership converges at transport speed.
+func (rt *Router) markShardFailed(rj *routerJob, shard string) {
+	rt.mu.Lock()
+	rj.failedShards[shard] = true
+	rj.shard = ""
+	rt.mu.Unlock()
+	rt.mon.kickProbe(shard)
+}
+
+// finish records a job's terminal event exactly once: state, counters,
+// retention, then the log append that releases every watcher.
+func (rt *Router) finish(rj *routerJob, term Event) {
+	rt.mu.Lock()
+	switch term.Event {
+	case EventResult:
+		rj.state = stateDone
+		rt.completed++
+	case EventCancelled:
+		rj.state = stateCancelled
+		rt.cancelled++
+	default:
+		rj.state = stateFailed
+		rt.failed++
+	}
+	rt.terminal = append(rt.terminal, rj.id)
+	for len(rt.terminal) > rt.cfg.RetainJobs {
+		old := rt.terminal[0]
+		rt.terminal = rt.terminal[1:]
+		delete(rt.jobs, old)
+	}
+	rt.mu.Unlock()
+	rj.cancel()
+	rj.append(term)
+}
+
+// forwardCancel best-effort propagates a cancel to the shard running the
+// job, so the shard stops simulating instead of finishing a result
+// nobody will read. The job's own context is already dead, so a short
+// independent one bounds the call.
+func (rt *Router) forwardCancel(rj *routerJob, c *Client, shardJobID string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, _ = c.Cancel(ctx, shardJobID)
+}
+
+// Cancel requests cancellation of a routed job. The pump observes the
+// context death, forwards the cancel to the assigned shard, and records
+// the terminal "cancelled" event. Cancelling a terminal job is a no-op.
+func (rt *Router) Cancel(id string) (jobState, bool) {
+	rt.mu.Lock()
+	rj, ok := rt.jobs[id]
+	if !ok {
+		rt.mu.Unlock()
+		return 0, false
+	}
+	state := rj.state
+	if state == stateQueued || state == stateRunning {
+		rj.cancelRequested = true
+	}
+	rt.mu.Unlock()
+	if state == stateQueued || state == stateRunning {
+		rj.cancel()
+		return stateRunning, true
+	}
+	return state, true
+}
+
+// Shutdown stops accepting jobs, cancels every in-flight pump and waits
+// for their terminal events, then stops the health monitor. In-flight
+// jobs record "cancelled" terminals (their shards keep or abandon the
+// underlying simulations per their own cancel handling).
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.mu.Lock()
+	rt.draining = true
+	rt.mu.Unlock()
+	rt.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		<-done
+	}
+	rt.mon.close()
+	return err
+}
+
+// Close is Shutdown with no patience.
+func (rt *Router) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := rt.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// Stats assembles the router's counters and shard membership view.
+func (rt *Router) Stats() RouterStats {
+	shards := rt.mon.snapshot()
+	live := 0
+	for _, sh := range shards {
+		if sh.Up {
+			live++
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return RouterStats{
+		Role:        "router",
+		ShardsLive:  live,
+		ShardsTotal: len(shards),
+		JobsHeld:    len(rt.jobs),
+		UptimeSec:   int(time.Since(rt.start) / time.Second),
+		Submitted:   rt.submitted,
+		Completed:   rt.completed,
+		Failed:      rt.failed,
+		Cancelled:   rt.cancelled,
+		Resubmitted: rt.resubmitted,
+		Shards:      shards,
+	}
+}
+
+// Health assembles the router's liveness view: same shape as a shard's,
+// plus the membership block that identifies it as a router.
+func (rt *Router) Health() Health {
+	live := len(rt.mon.live())
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	status := "ok"
+	if rt.draining {
+		status = "draining"
+	}
+	active := 0
+	for _, rj := range rt.jobs {
+		if rj.state == stateQueued || rj.state == stateRunning {
+			active++
+		}
+	}
+	return Health{
+		Status:  status,
+		Version: rt.cfg.Version,
+		Go:      runtime.Version(),
+		Running: active,
+		Router: &RouterHealth{
+			ShardsLive:  live,
+			ShardsTotal: rt.ring.Len(),
+		},
+	}
+}

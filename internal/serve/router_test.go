@@ -1,0 +1,434 @@
+package serve
+
+// Router-mode coverage over real HTTP and real simulations: placement
+// determinism, stream proxying, mid-job shard death with transparent
+// resubmission (the chaos scenario, with the -race detector watching the
+// pump/watcher interleavings), cache federation between shards, and the
+// cache-peer endpoint. The headline invariant, asserted by several
+// concurrent watchers at once: however many shards die under a job, a
+// client of the router sees exactly one "queued", one "started" and one
+// terminal event, and the result is bit-identical to an undisturbed run.
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"fxa"
+	"fxa/internal/sweep"
+)
+
+// shardHandle is one worker shard of a test cluster.
+type shardHandle struct {
+	srv   *Server
+	ts    *httptest.Server
+	cache *sweep.Cache
+}
+
+// kill emulates a SIGKILL: sever every established connection (breaking
+// the router's streams mid-line), refuse new ones, then abort the
+// shard's in-flight simulations so the test doesn't leak minutes of CPU.
+func (h *shardHandle) kill() {
+	h.ts.CloseClientConnections()
+	h.ts.Close()
+	_ = h.srv.Close()
+}
+
+// newShard stands up one worker shard with its own result cache.
+func newShard(t *testing.T, workers int) *shardHandle {
+	t.Helper()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: workers, Cache: cache})
+	ts := httptest.NewServer(srv.Handler())
+	h := &shardHandle{srv: srv, ts: ts, cache: cache}
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Close()
+	})
+	return h
+}
+
+// newCluster stands up n shards plus a router over them.
+func newCluster(t *testing.T, n int) ([]*shardHandle, *Router, *Client) {
+	t.Helper()
+	shards := make([]*shardHandle, n)
+	urls := make([]string, n)
+	for i := range shards {
+		shards[i] = newShard(t, 2)
+		urls[i] = shards[i].ts.URL
+	}
+	rt, err := NewRouter(RouterConfig{
+		Shards: urls,
+		// Fast probes so membership converges inside test time; the
+		// failover paths under test do not depend on probe timing (a
+		// failed shard is skipped per job immediately).
+		Probe: ProbeConfig{Interval: 50 * time.Millisecond, Timeout: time.Second, FailAfter: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		_ = rt.Close()
+	})
+	return shards, rt, &Client{BaseURL: rts.URL}
+}
+
+func TestRouterProxiesJobLifecycle(t *testing.T) {
+	_, rt, rc := newCluster(t, 2)
+
+	id, err := rc.Submit(context.Background(), quickSpec("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := streamEvents(rc, id)
+	q := waitEvent(t, ch, EventQueued)
+	if q.Seq != 0 {
+		t.Errorf("queued event at seq %d, want 0", q.Seq)
+	}
+	st := waitEvent(t, ch, EventStarted)
+	if st.Shard == "" {
+		t.Error("router-forwarded started event must carry the shard URL")
+	}
+	res := waitEvent(t, ch, EventResult)
+	if res.Result == nil {
+		t.Fatal("result event without a result payload")
+	}
+
+	stats := rt.Stats()
+	if stats.Role != "router" || stats.Submitted != 1 || stats.Completed != 1 || stats.Resubmitted != 0 {
+		t.Errorf("router stats = %+v, want role=router submitted=1 completed=1 resubmitted=0", stats)
+	}
+	h, err := rc.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Router == nil || h.Router.ShardsTotal != 2 || h.Router.ShardsLive != 2 {
+		t.Errorf("router healthz block = %+v, want 2/2 shards live", h.Router)
+	}
+}
+
+func TestRouterPlacementIsDeterministicAndCacheAligned(t *testing.T) {
+	_, _, rc := newCluster(t, 3)
+
+	spec := quickSpec("t1")
+	id1, err := rc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1 := streamEvents(rc, id1)
+	shard1 := waitEvent(t, ch1, EventStarted).Shard
+	first := waitEvent(t, ch1, EventResult)
+	if first.CacheHit {
+		t.Fatal("first submission of a cell cannot be a cache hit")
+	}
+
+	// The identical cell from another tenant lands on the same shard and
+	// hits the cache entry the first run wrote there.
+	spec2 := spec
+	spec2.Tenant = "t2"
+	id2, err := rc.Submit(context.Background(), spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2 := streamEvents(rc, id2)
+	shard2 := waitEvent(t, ch2, EventStarted).Shard
+	second := waitEvent(t, ch2, EventResult)
+	if shard1 != shard2 {
+		t.Errorf("identical cells placed on %s and %s; placement must ignore tenant", shard1, shard2)
+	}
+	if !second.CacheHit {
+		t.Error("second submission of an identical cell must hit the shard's cache")
+	}
+	if !reflect.DeepEqual(first.Result, second.Result) {
+		t.Error("cache-aligned placement returned a different result for an identical cell")
+	}
+}
+
+// TestRouterResubmitsOnShardDeathMidJob is the chaos scenario in
+// miniature: a shard is killed while simulating a routed job with
+// several watchers attached. The job must complete on another shard,
+// every watcher must see exactly one started and one terminal event
+// with identical payloads, the result must be bit-identical to an
+// undisturbed run, and the router must count one resubmission.
+func TestRouterResubmitsOnShardDeathMidJob(t *testing.T) {
+	shards, rt, rc := newCluster(t, 3)
+
+	// Long enough that the kill lands mid-flight (intervals prove the
+	// simulation is under way), short enough that the rerun finishes in
+	// test time.
+	spec := JobSpec{
+		Tenant:        "chaos",
+		Model:         "HALF+FX",
+		Workload:      "libquantum",
+		MaxInsts:      12_000_000,
+		IntervalInsts: 1_000_000,
+	}
+
+	id, err := rc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const watchers = 3
+	chans := make([]<-chan Event, watchers)
+	for i := range chans {
+		chans[i] = streamEvents(rc, id)
+	}
+
+	// Identify the victim from the started event on a separate probe
+	// stream (so the counted watchers keep their full logs), and prove
+	// the simulation is genuinely mid-flight (an interval arrived)
+	// before killing it.
+	probe := streamEvents(rc, id)
+	started := waitEvent(t, probe, EventStarted)
+	waitEvent(t, probe, EventInterval)
+	var victim *shardHandle
+	for _, h := range shards {
+		if h.ts.URL == started.Shard {
+			victim = h
+		}
+	}
+	if victim == nil {
+		t.Fatalf("started event names unknown shard %q", started.Shard)
+	}
+	victim.kill()
+
+	// Every watcher must converge on the same single terminal result.
+	results := make([]*Event, watchers)
+	for i, ch := range chans {
+		var counts = map[string]int{}
+		for e := range ch {
+			counts[e.Event]++
+			if e.Event == EventResult {
+				e := e
+				results[i] = &e
+			}
+		}
+		if counts[EventQueued] != 1 || counts[EventStarted] != 1 {
+			t.Errorf("watcher %d saw %d queued / %d started events, want exactly 1 of each", i, counts[EventQueued], counts[EventStarted])
+		}
+		terminals := counts[EventResult] + counts[EventError] + counts[EventCancelled]
+		if terminals != 1 || counts[EventResult] != 1 {
+			t.Errorf("watcher %d saw %d terminal events (%d results), want exactly 1 result", i, terminals, counts[EventResult])
+		}
+	}
+	for i := 1; i < watchers; i++ {
+		if results[0] == nil || results[i] == nil {
+			continue // already reported above
+		}
+		if !reflect.DeepEqual(results[0].Result, results[i].Result) {
+			t.Errorf("watcher %d decoded a different result payload than watcher 0", i)
+		}
+	}
+
+	if stats := rt.Stats(); stats.Resubmitted != 1 || stats.Completed != 1 {
+		t.Errorf("router stats = %+v, want resubmitted=1 completed=1", stats)
+	}
+
+	// Bit-identity with an undisturbed run on an independent shard.
+	control := newShard(t, 2)
+	cc := &Client{BaseURL: control.ts.URL}
+	cid, err := cc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cc.Wait(context.Background(), cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != nil && !reflect.DeepEqual(*results[0].Result, want) {
+		t.Error("result after mid-job shard death differs from an undisturbed run")
+	}
+}
+
+func TestRouterFailsJobAfterExhaustingShards(t *testing.T) {
+	// One shard, already dead: the pump burns its attempts on transport
+	// failures and must record a clean error terminal, not hang.
+	dead := httptest.NewServer(nil)
+	url := dead.URL
+	dead.Close()
+	rt, err := NewRouter(RouterConfig{
+		Shards:      []string{url},
+		Probe:       ProbeConfig{Interval: 50 * time.Millisecond, FailAfter: 2},
+		MaxAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+	defer rt.Close()
+	rc := &Client{BaseURL: rts.URL}
+
+	id, err := rc.Submit(context.Background(), quickSpec("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := streamEvents(rc, id)
+	waitEvent(t, ch, EventQueued)
+	sawError := false
+	for e := range ch {
+		if e.Event == EventError {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Fatal("job against an all-dead cluster must end in an error terminal")
+	}
+	if stats := rt.Stats(); stats.Failed != 1 {
+		t.Errorf("router stats = %+v, want failed=1", stats)
+	}
+}
+
+func TestRouterRejectsInvalidSpecs(t *testing.T) {
+	_, _, rc := newCluster(t, 1)
+	bad := quickSpec("t1")
+	bad.Model = "NO-SUCH-MODEL"
+	if _, err := rc.Submit(context.Background(), bad); err == nil {
+		t.Error("router accepted an unknown model")
+	}
+	zero := quickSpec("t1")
+	zero.MaxInsts = 0
+	if _, err := rc.Submit(context.Background(), zero); err == nil {
+		t.Error("router accepted an unbounded job")
+	}
+}
+
+func TestRouterCancelMidFlight(t *testing.T) {
+	shards, rt, rc := newCluster(t, 1)
+
+	id, err := rc.Submit(context.Background(), endlessSpec("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := streamEvents(rc, id)
+	waitEvent(t, ch, EventStarted)
+	if _, err := rc.Cancel(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	terminals := 0
+	for e := range ch {
+		if e.Terminal() {
+			terminals++
+			if e.Event != EventCancelled {
+				t.Errorf("terminal event %q, want cancelled", e.Event)
+			}
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("saw %d terminal events, want 1", terminals)
+	}
+	if stats := rt.Stats(); stats.Cancelled != 1 {
+		t.Errorf("router stats = %+v, want cancelled=1", stats)
+	}
+
+	// The cancel must have reached the shard: its worker slot frees up
+	// (the endless simulation would otherwise pin it for minutes).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := shards[0].srv.Stats()
+		if st.Running == 0 && st.Cancelled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard never observed the forwarded cancel: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCacheFederationBetweenShards(t *testing.T) {
+	a := newShard(t, 2)
+	b := newShard(t, 2)
+	// b's cache asks a on local misses.
+	peers := func() []string { return []string{a.ts.URL} }
+	b.cache.SetFallback(CacheFallback(b.ts.URL, peers, nil, 0))
+
+	spec := quickSpec("t1")
+	ca := &Client{BaseURL: a.ts.URL}
+	ida, err := ca.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ca.Wait(context.Background(), ida)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cb := &Client{BaseURL: b.ts.URL}
+	idb, err := cb.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, cached, err := cb.Wait(context.Background(), idb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("federated answer must be reported as a cache hit")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("federated result differs from the peer's entry")
+	}
+	if st := b.cache.Stats(); st.Federated != 1 {
+		t.Errorf("shard B Federated counter = %d, want 1", st.Federated)
+	}
+	if st := a.srv.Stats(); st.Ran != 1 {
+		t.Errorf("shard A ran %d simulations, want 1 (B must not re-simulate)", st.Ran)
+	}
+	if st := b.srv.Stats(); st.Ran != 0 {
+		t.Errorf("shard B ran %d simulations, want 0 (answered by federation)", st.Ran)
+	}
+}
+
+func TestCachePeekEndpoint(t *testing.T) {
+	h := newShard(t, 2)
+	c := &Client{BaseURL: h.ts.URL}
+
+	spec := quickSpec("t1")
+	id, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fxa.ModelByName(spec.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fxa.WorkloadByName(spec.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := RoutingKey(spec, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := h.ts.Client().Get(h.ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/v1/cache/" + key); code != 200 {
+		t.Errorf("GET of a present entry = %d, want 200", code)
+	}
+	absent := "0000000000000000000000000000000000000000000000000000000000000000"
+	if code := get("/v1/cache/" + absent); code != 404 {
+		t.Errorf("GET of an absent entry = %d, want 404", code)
+	}
+	if code := get("/v1/cache/not-a-key"); code != 400 {
+		t.Errorf("GET of a malformed key = %d, want 400", code)
+	}
+}

@@ -22,6 +22,16 @@
 //	    confidence intervals). Both additions are optional JSON fields,
 //	    so every v1 exchange is also a valid v2 exchange — v1 clients
 //	    keep working unchanged against a v2 daemon.
+//	v3: the sharded fabric. The "started" event gains the optional
+//	    "shard" field (which worker shard a router placed the job on), a
+//	    shard exposes its content-addressed result cache to peers at
+//	    GET /v1/cache/{key}, and a router-mode daemon answers /healthz
+//	    with the optional "router" block (RouterHealth) and /v1/stats
+//	    with RouterStats (role "router", shard membership, resubmission
+//	    counters). Every addition is an optional JSON field on the
+//	    existing shapes or a new endpoint, so every v2 exchange is also
+//	    a valid v3 exchange — v2 clients keep working unchanged against
+//	    both a v3 shard and a v3 router.
 package serve
 
 import (
@@ -34,7 +44,7 @@ import (
 
 // WireVersion identifies the protocol generation (see the package comment
 // for the version history).
-const WireVersion = 2
+const WireVersion = 3
 
 // JobSpec is one job submission: a single (model, workload) simulation
 // cell, the same unit a local sweep dispatches to its worker pool.
@@ -170,6 +180,11 @@ type Event struct {
 	// (the underlying run's termination error, normally just the
 	// context cancellation).
 	Error string `json:"error,omitempty"`
+
+	// Shard accompanies "started" on a routed job (wire v3): the base
+	// URL of the worker shard the router placed the job on. Absent on
+	// events served directly by a shard.
+	Shard string `json:"shard,omitempty"`
 }
 
 // Terminal reports whether e ends its job's stream.
@@ -245,4 +260,49 @@ type Health struct {
 	Go      string `json:"go"`
 	Queued  int    `json:"queued"`
 	Running int    `json:"running"`
+
+	// Router is present only on a router-mode daemon (wire v3): the
+	// shard-membership summary. Its absence is how a client tells a
+	// worker shard from a router.
+	Router *RouterHealth `json:"router,omitempty"`
+}
+
+// RouterHealth is the /healthz membership summary of a router (wire v3).
+type RouterHealth struct {
+	ShardsLive  int `json:"shards_live"`
+	ShardsTotal int `json:"shards_total"`
+}
+
+// ShardHealth is one worker shard's state as seen by a router's health
+// monitor (wire v3): membership, the consecutive-failure counter that
+// drives mark-down, and the backlog reported by the shard's last
+// successful probe.
+type ShardHealth struct {
+	URL              string `json:"url"`
+	Up               bool   `json:"up"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	LastError        string `json:"last_error,omitempty"`
+	Queued           int    `json:"queued"`
+	Running          int    `json:"running"`
+	ProbeAgeMS       int64  `json:"probe_age_ms"` // since the last finished probe; -1 before the first
+}
+
+// RouterStats answers GET /v1/stats on a router-mode daemon (wire v3).
+// Resubmitted counts jobs that were re-placed on another shard after
+// their first shard failed mid-job — the chaos smoke asserts it advances
+// when a shard is killed mid-sweep.
+type RouterStats struct {
+	Role        string `json:"role"` // "router"
+	ShardsLive  int    `json:"shards_live"`
+	ShardsTotal int    `json:"shards_total"`
+	JobsHeld    int    `json:"jobs_held"`
+	UptimeSec   int    `json:"uptime_sec"`
+
+	Submitted   uint64 `json:"submitted"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Cancelled   uint64 `json:"cancelled"`
+	Resubmitted uint64 `json:"resubmitted"`
+
+	Shards []ShardHealth `json:"shards"`
 }

@@ -17,6 +17,7 @@
 package sweep
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -61,13 +62,41 @@ func Key(fingerprint any) (string, error) {
 type Cache struct {
 	dir string
 
-	mu     sync.Mutex       // guards flight
-	flight map[string]*call // in-flight executions by key
+	mu       sync.Mutex       // guards flight and fallback
+	flight   map[string]*call // in-flight executions by key
+	fallback FallbackFunc     // consulted by flight leaders after a local miss
 
 	hits      atomic.Uint64 // Get: entry present and decodable
 	misses    atomic.Uint64 // Get: absent or corrupt
 	puts      atomic.Uint64 // successful Put calls
 	collapsed atomic.Uint64 // followers served from a leader's in-flight run
+	federated atomic.Uint64 // leaders answered by the fallback (a cache peer)
+}
+
+// FallbackFunc is a second-level lookup consulted after a local cache
+// miss, immediately before the flight leader would simulate: the
+// fabric's cache federation (a shard asking its peer shards over HTTP,
+// see internal/serve) plugs in here. It must return (result, true) only
+// for a genuine entry of exactly this key; any failure — peer down,
+// network error, miss — is reported as (zero, false) and the leader
+// simulates as usual, so federation can only remove work, never
+// correctness. A fallback answer is adopted into the local cache.
+type FallbackFunc func(ctx context.Context, key string) (engine.Result, bool)
+
+// SetFallback installs (or, with nil, removes) the cache's second-level
+// lookup. Safe to call concurrently with lookups; the usual pattern is
+// to install it once at daemon startup.
+func (c *Cache) SetFallback(fn FallbackFunc) {
+	c.mu.Lock()
+	c.fallback = fn
+	c.mu.Unlock()
+}
+
+// getFallback returns the installed fallback, if any.
+func (c *Cache) getFallback() FallbackFunc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fallback
 }
 
 // CacheStats are a Cache's cumulative lifetime counters.
@@ -76,6 +105,7 @@ type CacheStats struct {
 	Misses    uint64 `json:"misses"`    // lookups that found nothing usable
 	Puts      uint64 `json:"puts"`      // entries written
 	Collapsed uint64 `json:"collapsed"` // concurrent identical runs deduplicated in flight
+	Federated uint64 `json:"federated"` // leaders answered by a cache peer instead of simulating
 }
 
 // HitRate returns the fraction of lookups answered from disk (0 when no
@@ -95,6 +125,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses.Load(),
 		Puts:      c.puts.Load(),
 		Collapsed: c.collapsed.Load(),
+		Federated: c.federated.Load(),
 	}
 }
 
@@ -133,6 +164,24 @@ func (c *Cache) Get(key string) (engine.Result, bool) {
 	}
 	c.hits.Add(1)
 	return res, true
+}
+
+// Peek returns the raw stored bytes for key without touching the
+// hit/miss counters or the fallback — the read side of the fabric's
+// cache-federation endpoint (GET /v1/cache/{key} in internal/serve),
+// which must serve exactly what is on disk and must not have a peer's
+// lookup skew this cache's own hit rate. A corrupt entry (undecodable
+// JSON) is reported as absent, mirroring Get.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var res engine.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, false
+	}
+	return b, true
 }
 
 // Put stores res under key atomically.

@@ -1,0 +1,159 @@
+package sweep
+
+// Second-level (federation) lookup semantics: the fallback is consulted
+// only after a local miss, only by flight leaders, its answers are
+// adopted into the local cache and counted, and its failures leave the
+// normal simulate path untouched.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fxa/internal/engine"
+)
+
+func fallbackResult(model string) engine.Result {
+	return engine.Result{SchemaVersion: 2, Model: model}
+}
+
+func TestFallbackAnswersMissAndIsAdopted(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fallbackResult("federated")
+	var calls atomic.Int32
+	cache.SetFallback(func(ctx context.Context, key string) (engine.Result, bool) {
+		calls.Add(1)
+		return want, true
+	})
+
+	ran := false
+	job := Job{
+		Label:       "cell",
+		Fingerprint: "fallback-hit",
+		Run: func(ctx context.Context) (engine.Result, error) {
+			ran = true
+			return engine.Result{}, nil
+		},
+	}
+	res, hit, shared, err := RunOne(context.Background(), job, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("job simulated although the fallback had the entry")
+	}
+	if !hit || shared {
+		t.Errorf("federated answer reported hit=%v shared=%v, want hit=true shared=false", hit, shared)
+	}
+	if res.Model != want.Model {
+		t.Errorf("got result for model %q, want %q", res.Model, want.Model)
+	}
+	if st := cache.Stats(); st.Federated != 1 {
+		t.Errorf("Federated counter = %d, want 1", st.Federated)
+	}
+
+	// Adoption: the answer is now a local disk entry, so a second run
+	// never consults the fallback again.
+	res2, hit2, _, err := RunOne(context.Background(), job, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 || res2.Model != want.Model {
+		t.Errorf("second run: hit=%v model=%q, want local hit of the adopted entry", hit2, res2.Model)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fallback called %d times, want 1 (adopted entries answer locally)", got)
+	}
+}
+
+func TestFallbackMissFallsThroughToSimulation(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetFallback(func(ctx context.Context, key string) (engine.Result, bool) {
+		return engine.Result{}, false
+	})
+	ran := false
+	res, hit, shared, err := RunOne(context.Background(), Job{
+		Label:       "cell",
+		Fingerprint: "fallback-miss",
+		Run: func(ctx context.Context) (engine.Result, error) {
+			ran = true
+			return fallbackResult("simulated"), nil
+		},
+	}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || hit || shared {
+		t.Errorf("ran=%v hit=%v shared=%v, want a plain simulation on fallback miss", ran, hit, shared)
+	}
+	if res.Model != "simulated" {
+		t.Errorf("result model %q, want the simulated one", res.Model)
+	}
+	if st := cache.Stats(); st.Federated != 0 {
+		t.Errorf("Federated counter = %d, want 0 on a fallback miss", st.Federated)
+	}
+}
+
+// TestFallbackConsultedOncePerFlight pins the fabric-wide singleflight
+// property: N concurrent identical jobs cost at most one peer lookup,
+// because only the flight leader consults the fallback.
+func TestFallbackConsultedOncePerFlight(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	cache.SetFallback(func(ctx context.Context, key string) (engine.Result, bool) {
+		calls.Add(1)
+		entered <- struct{}{}
+		<-release
+		return fallbackResult("federated"), true
+	})
+	job := Job{
+		Label:       "cell",
+		Fingerprint: "fallback-flight",
+		Run: func(ctx context.Context) (engine.Result, error) {
+			t.Error("job simulated although the fallback had the entry")
+			return engine.Result{}, nil
+		},
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	hits := make([]bool, n)
+	shares := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, hits[i], shares[i], errs[i] = RunOne(context.Background(), job, cache)
+		}(i)
+	}
+	<-entered // the leader is inside the fallback
+	// Park the followers on the flight, then let the leader answer.
+	waitStats(t, cache, func(st CacheStats) bool { return st.Misses >= n })
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !hits[i] && !shares[i] {
+			t.Errorf("caller %d reported a simulation; want hit or shared", i)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fallback called %d times for %d concurrent identical jobs, want 1", got, n)
+	}
+}

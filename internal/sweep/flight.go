@@ -28,11 +28,12 @@ import (
 )
 
 // call is one in-flight execution of a cache key. done is closed after
-// res/err are final.
+// res/err/fed are final.
 type call struct {
 	done chan struct{}
 	res  engine.Result
 	err  error
+	fed  bool // answered by the federation fallback, not a simulation
 }
 
 // runShared executes run for key with singleflight collapsing: concurrent
@@ -86,8 +87,24 @@ func (c *Cache) runShared(ctx context.Context, key string, run func() (engine.Re
 					cl.err = fmt.Errorf("sweep: flight leader panicked: %v\n%s", r, debug.Stack())
 				}
 			}()
+			// Federation: before paying for a simulation, ask the
+			// second-level lookup (a peer shard's cache). Only the
+			// leader asks, so collapsed followers of this key cost zero
+			// peer traffic — singleflight is preserved across the
+			// fabric. A federated answer is adopted into the local cache
+			// (a failed adoption merely costs a refetch next time).
+			if fb := c.getFallback(); fb != nil {
+				if res, ok := fb(ctx, key); ok {
+					c.federated.Add(1)
+					_ = c.Put(key, res)
+					cl.res, cl.fed = res, true
+					return
+				}
+			}
 			cl.res, cl.err = run()
 		}()
-		return cl.res, false, false, cl.err
+		// A federated answer reports as a cache hit: the caller did not
+		// simulate, it was served an existing entry — just a remote one.
+		return cl.res, cl.fed, false, cl.err
 	}
 }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Cross-checks the CI workflows against the Makefile: every `make <target>`
+# a workflow invokes must actually exist, so a renamed or deleted target
+# fails this gate instead of silently breaking a workflow that only runs
+# nightly. Runs in CI itself (`make ci-sanity`) and locally.
+set -eu
+
+fail=0
+for wf in .github/workflows/*.yml; do
+	[ -f "$wf" ] || continue
+	# Every `make target1 target2 ...` invocation in run: lines, one
+	# target token per output line. Variable-prefixed invocations like
+	# `FOO=1 make x` are covered by matching `make` anywhere in the line.
+	targets="$(grep -oE '(^|[ \t])make[ \t]+[A-Za-z0-9_.= -]+' "$wf" |
+		sed 's/.*make[ \t]*//' | tr ' ' '\n' | sed '/^$/d' | sed '/^-/d' | sort -u)"
+	for t in $targets; do
+		# Skip variable assignments passed to make (FOO=bar).
+		case "$t" in *=*) continue ;; esac
+		if ! grep -qE "^$t:" Makefile; then
+			echo "ci-sanity: $wf invokes 'make $t' but the Makefile has no target '$t'" >&2
+			fail=1
+		fi
+	done
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "ci-sanity: all workflow make targets exist"

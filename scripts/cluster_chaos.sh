@@ -1,0 +1,171 @@
+#!/bin/sh
+# Nightly chaos exercise of the sharded fxad fabric: repeatedly run a
+# full evaluation sweep through a fresh 3-shard + router cluster while
+# SIGKILLing a randomly chosen shard at a randomly chosen time, and
+# assert the sweep still completes bit-identically to a local serial
+# baseline. A final case kills and restarts the *router* between two
+# sweeps over the same shards and asserts the second sweep is identical
+# (and served from the shards' caches — router state is disposable, the
+# fabric's source of truth is the content-addressed caches).
+#
+# Randomness is seeded and printed up front (and again on failure), so
+# any run reproduces with CHAOS_SEED=<seed>. Knobs:
+#
+#   CHAOS_ITERS  kill-a-shard iterations (default 3)
+#   CHAOS_SEED   RNG seed (default: seconds since epoch)
+#   CHAOS_N      instructions per sweep cell (default 200000)
+#   CHAOS_WORK   work/log directory, kept on exit for artifact upload
+#                (default: a fresh mktemp -d, removed on success)
+set -eu
+
+GO="${GO:-go}"
+CHAOS_ITERS="${CHAOS_ITERS:-3}"
+CHAOS_SEED="${CHAOS_SEED:-$(date +%s)}"
+CHAOS_N="${CHAOS_N:-200000}"
+KEEP_WORK=1
+if [ -z "${CHAOS_WORK:-}" ]; then
+	CHAOS_WORK="$(mktemp -d)"
+	KEEP_WORK=0
+fi
+mkdir -p "$CHAOS_WORK"
+echo "cluster-chaos: seed $CHAOS_SEED ($CHAOS_ITERS iterations, n=$CHAOS_N, work $CHAOS_WORK)"
+
+S1_PID="" S2_PID="" S3_PID="" ROUTER_PID=""
+cleanup() {
+	for pid in "$ROUTER_PID" "$S1_PID" "$S2_PID" "$S3_PID"; do
+		[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+	done
+	[ "$KEEP_WORK" -eq 0 ] && rm -rf "$CHAOS_WORK" || true
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "cluster-chaos: FAIL (seed $CHAOS_SEED): $*" >&2
+	echo "cluster-chaos: logs kept in $CHAOS_WORK" >&2
+	KEEP_WORK=1
+	exit 1
+}
+
+. "$(dirname "$0")/fxad_lib.sh"
+
+# rand <max>: deterministic pseudo-random integer in [0, max), left in
+# $RAND_OUT. Not `$(...)`-friendly — the draw counter must advance in
+# this shell, not a subshell, or every draw repeats. The first rand()
+# after srand() is nearly identical for adjacent seeds in common awks,
+# so a few draws are discarded to let the generator states diverge.
+RAND_N=0
+rand() {
+	RAND_N=$((RAND_N + 1))
+	RAND_OUT="$(awk -v seed="$CHAOS_SEED" -v n="$RAND_N" -v max="$1" \
+		'BEGIN { srand(seed + n); for (i = 0; i < 3; i++) rand(); print int(rand() * max) }')"
+}
+
+echo "cluster-chaos: building fxad and fxabench"
+$GO build -o "$CHAOS_WORK/fxad" ./cmd/fxad
+$GO build -o "$CHAOS_WORK/fxabench" ./cmd/fxabench
+
+echo "cluster-chaos: computing local serial baseline"
+"$CHAOS_WORK/fxabench" -n "$CHAOS_N" -experiment fig7 -format csv -q -j 1 \
+	>"$CHAOS_WORK/local.csv" || fail "local baseline sweep failed"
+
+# start_cluster <tag>: boots 3 shards + router, sets A1/A2/A3, ROUTER
+# and the *_PID variables. Logs under $CHAOS_WORK/<tag>-*.log.
+start_cluster() {
+	tag="$1"
+	for i in 1 2 3; do
+		"$CHAOS_WORK/fxad" -addr 127.0.0.1:0 -cachedir "$CHAOS_WORK/$tag-cache$i" -j 2 \
+			-peersfile "$CHAOS_WORK/$tag-peers.txt" -drain 30s \
+			>"$CHAOS_WORK/$tag-shard$i.log" 2>&1 &
+		eval "S${i}_PID=$!"
+	done
+	A1="$(fxad_wait_addr "$CHAOS_WORK/$tag-shard1.log" "$S1_PID")"
+	A2="$(fxad_wait_addr "$CHAOS_WORK/$tag-shard2.log" "$S2_PID")"
+	A3="$(fxad_wait_addr "$CHAOS_WORK/$tag-shard3.log" "$S3_PID")"
+	printf 'http://%s\nhttp://%s\nhttp://%s\n' "$A1" "$A2" "$A3" >"$CHAOS_WORK/$tag-peers.txt"
+	"$CHAOS_WORK/fxad" -addr 127.0.0.1:0 -route "http://$A1,http://$A2,http://$A3" \
+		-probe-interval 250ms -probe-fails 2 -drain 30s \
+		>"$CHAOS_WORK/$tag-router.log" 2>&1 &
+	ROUTER_PID=$!
+	RA="$(fxad_wait_addr "$CHAOS_WORK/$tag-router.log" "$ROUTER_PID")"
+	ROUTER="http://$RA"
+}
+
+stop_cluster() {
+	for pid in "$ROUTER_PID" "$S1_PID" "$S2_PID" "$S3_PID"; do
+		[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	ROUTER_PID="" S1_PID="" S2_PID="" S3_PID=""
+}
+
+iter=1
+while [ "$iter" -le "$CHAOS_ITERS" ]; do
+	echo "cluster-chaos: iteration $iter/$CHAOS_ITERS"
+	start_cluster "iter$iter"
+
+	"$CHAOS_WORK/fxabench" -serve-url "$ROUTER" -tenant chaos -n "$CHAOS_N" \
+		-experiment fig7 -format csv -q \
+		>"$CHAOS_WORK/iter$iter-remote.csv" 2>"$CHAOS_WORK/iter$iter-sweep.log" &
+	SWEEP_PID=$!
+
+	# Kill a random shard after a random delay inside the sweep window.
+	rand 4000
+	DELAY_MS="$RAND_OUT"
+	rand 3
+	VICTIM=$((RAND_OUT + 1))
+	sleep "$(awk -v ms="$DELAY_MS" 'BEGIN { printf "%.3f", ms / 1000 }')"
+	eval "VICTIM_PID=\$S${VICTIM}_PID"
+	echo "cluster-chaos: killing shard $VICTIM after ${DELAY_MS}ms"
+	kill -9 "$VICTIM_PID" 2>/dev/null || true
+	eval "S${VICTIM}_PID="
+
+	SWEEP_EXIT=0
+	wait "$SWEEP_PID" || SWEEP_EXIT=$?
+	[ "$SWEEP_EXIT" -eq 0 ] || {
+		cat "$CHAOS_WORK/iter$iter-sweep.log" >&2 || true
+		fail "iteration $iter: sweep exited $SWEEP_EXIT (killed shard $VICTIM after ${DELAY_MS}ms)"
+	}
+	diff -u "$CHAOS_WORK/local.csv" "$CHAOS_WORK/iter$iter-remote.csv" >/dev/null ||
+		fail "iteration $iter: sweep differs from baseline (killed shard $VICTIM after ${DELAY_MS}ms)"
+
+	stop_cluster
+	iter=$((iter + 1))
+done
+
+echo "cluster-chaos: router-restart case"
+start_cluster "restart"
+ROUTE_ARG="http://$A1,http://$A2,http://$A3"
+"$CHAOS_WORK/fxabench" -serve-url "$ROUTER" -tenant chaos -n "$CHAOS_N" \
+	-experiment fig7 -format csv -q >"$CHAOS_WORK/restart-1.csv" ||
+	fail "router-restart: first sweep failed"
+
+echo "cluster-chaos: killing and restarting the router"
+kill -9 "$ROUTER_PID" 2>/dev/null || true
+wait "$ROUTER_PID" 2>/dev/null || true
+"$CHAOS_WORK/fxad" -addr 127.0.0.1:0 -route "$ROUTE_ARG" \
+	-probe-interval 250ms -probe-fails 2 -drain 30s \
+	>"$CHAOS_WORK/restart-router2.log" 2>&1 &
+ROUTER_PID=$!
+RA="$(fxad_wait_addr "$CHAOS_WORK/restart-router2.log" "$ROUTER_PID")"
+ROUTER="http://$RA"
+
+"$CHAOS_WORK/fxabench" -serve-url "$ROUTER" -tenant chaos -n "$CHAOS_N" \
+	-experiment fig7 -format csv -q >"$CHAOS_WORK/restart-2.csv" ||
+	fail "router-restart: second sweep failed"
+diff -u "$CHAOS_WORK/restart-1.csv" "$CHAOS_WORK/restart-2.csv" >/dev/null ||
+	fail "router-restart: sweeps across a router restart differ"
+diff -u "$CHAOS_WORK/local.csv" "$CHAOS_WORK/restart-2.csv" >/dev/null ||
+	fail "router-restart: post-restart sweep differs from baseline"
+# Router state is disposable precisely because the shards' caches are
+# the source of truth: the rerun must be answered from them, not
+# resimulated.
+for a in "$A1" "$A2" "$A3"; do
+	curl -fsS "http://$a/v1/stats" >>"$CHAOS_WORK/restart-shard-stats.json"
+	printf '\n' >>"$CHAOS_WORK/restart-shard-stats.json"
+done
+grep -q '"cache_hits":[1-9]' "$CHAOS_WORK/restart-shard-stats.json" ||
+	fail "router-restart: no shard served the rerun from its cache"
+stop_cluster
+
+echo "cluster-chaos: PASS (seed $CHAOS_SEED)"
+[ "$KEEP_WORK" -eq 0 ] || echo "cluster-chaos: logs in $CHAOS_WORK"

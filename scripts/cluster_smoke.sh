@@ -1,0 +1,164 @@
+#!/bin/sh
+# Multi-shard smoke test of the sharded fxad fabric: build the real
+# binaries, boot three worker shards (each with its own cache, federated
+# over a shared peers file) and one router on loopback ephemeral ports,
+# then prove the fabric's headline claims end to end:
+#
+#   - the router reports all three shards live;
+#   - cache federation answers a shard's miss from a peer's cache;
+#   - a full evaluation sweep submitted through the router (fxabench
+#     -serve-url) is bit-identical to a local serial run — even though
+#     one shard is SIGKILLed mid-sweep, while a long pin job streams
+#     from it, and the router transparently resubmits its jobs;
+#   - the pin job's stream sees exactly one terminal result event;
+#   - the router's /v1/stats counts the resubmissions and the mark-down.
+#
+# Plain POSIX sh + curl + grep, so it runs identically on a laptop and
+# in CI (`make cluster-smoke`).
+set -eu
+
+GO="${GO:-go}"
+SMOKE_N="${SMOKE_N:-200000}"
+WORK="$(mktemp -d)"
+S1_PID="" S2_PID="" S3_PID="" ROUTER_PID="" CURL_PID="" SWEEP_PID=""
+cleanup() {
+	for pid in "$CURL_PID" "$SWEEP_PID" "$ROUTER_PID" "$S1_PID" "$S2_PID" "$S3_PID"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "cluster-smoke: FAIL: $*" >&2
+	for log in router shard1 shard2 shard3; do
+		echo "--- $log log ---" >&2
+		cat "$WORK/$log.log" >&2 2>/dev/null || true
+	done
+	exit 1
+}
+
+. "$(dirname "$0")/fxad_lib.sh"
+
+echo "cluster-smoke: building fxad and fxabench"
+$GO build -o "$WORK/fxad" ./cmd/fxad
+$GO build -o "$WORK/fxabench" ./cmd/fxabench
+
+echo "cluster-smoke: starting 3 worker shards"
+# The peers file does not exist yet; shards re-read it on every cache
+# miss, so writing it after all addresses are known is race-free.
+for i in 1 2 3; do
+	"$WORK/fxad" -addr 127.0.0.1:0 -cachedir "$WORK/cache$i" -j 2 \
+		-peersfile "$WORK/peers.txt" -drain 30s \
+		>"$WORK/shard$i.log" 2>&1 &
+	eval "S${i}_PID=$!"
+done
+A1="$(fxad_wait_addr "$WORK/shard1.log" "$S1_PID")"
+A2="$(fxad_wait_addr "$WORK/shard2.log" "$S2_PID")"
+A3="$(fxad_wait_addr "$WORK/shard3.log" "$S3_PID")"
+printf 'http://%s\nhttp://%s\nhttp://%s\n' "$A1" "$A2" "$A3" >"$WORK/peers.txt"
+echo "cluster-smoke: shards at $A1 $A2 $A3"
+
+echo "cluster-smoke: starting router"
+"$WORK/fxad" -addr 127.0.0.1:0 -route "http://$A1,http://$A2,http://$A3" \
+	-probe-interval 250ms -probe-fails 2 -drain 30s \
+	>"$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+RA="$(fxad_wait_addr "$WORK/router.log" "$ROUTER_PID")"
+ROUTER="http://$RA"
+echo "cluster-smoke: router at $ROUTER"
+
+curl -fsS "$ROUTER/healthz" | grep -q '"shards_live":3' || fail "router does not see 3 live shards"
+
+echo "cluster-smoke: cache federation (shard2 answers from shard1's cache)"
+FED_SPEC='{"tenant":"smoke","model":"HALF+FX","workload":"libquantum","max_insts":60000}'
+J1="$(fxad_submit "http://$A1" "$FED_SPEC")"
+curl -fsS --max-time 120 "http://$A1/v1/jobs/$J1" | grep -q '"event":"result"' ||
+	fail "federation seed job did not finish on shard1"
+J2="$(fxad_submit "http://$A2" "$FED_SPEC")"
+curl -fsS --max-time 120 "http://$A2/v1/jobs/$J2" | grep -q '"cache_hit":true' ||
+	fail "shard2 did not answer the identical job from the federated cache"
+curl -fsS "http://$A2/v1/stats" | grep -q '"federated":1' ||
+	fail "shard2 stats do not count the federated answer"
+
+echo "cluster-smoke: pinning a long job through the router"
+PIN_SPEC='{"tenant":"smoke","model":"HALF+FX","workload":"libquantum","max_insts":12000000,"interval_insts":1000000}'
+PIN="$(fxad_submit "$ROUTER" "$PIN_SPEC")"
+curl -sN --max-time 600 "$ROUTER/v1/jobs/$PIN" >"$WORK/pin.stream" &
+CURL_PID=$!
+
+# Wait for the pin job's started event; its shard annotation names the
+# victim. Then wait for an interval event, proving the simulation is
+# genuinely mid-flight before the kill.
+VICTIM_ADDR=""
+i=0
+while [ $i -lt 300 ]; do
+	VICTIM_ADDR="$(sed -n 's/.*"event":"started".*"shard":"http:\/\/\([^"]*\)".*/\1/p' "$WORK/pin.stream" | head -n1)"
+	[ -n "$VICTIM_ADDR" ] && grep -q '"event":"interval"' "$WORK/pin.stream" && break
+	VICTIM_ADDR=""
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$VICTIM_ADDR" ] || fail "pin job never reported a shard + interval"
+case "$VICTIM_ADDR" in
+"$A1") VICTIM_PID=$S1_PID ;;
+"$A2") VICTIM_PID=$S2_PID ;;
+"$A3") VICTIM_PID=$S3_PID ;;
+*) fail "pin job started on unknown shard $VICTIM_ADDR" ;;
+esac
+
+echo "cluster-smoke: starting remote sweep through the router"
+"$WORK/fxabench" -serve-url "$ROUTER" -tenant smoke -n "$SMOKE_N" \
+	-experiment fig7 -format csv -q >"$WORK/remote.csv" 2>"$WORK/sweep.log" &
+SWEEP_PID=$!
+
+echo "cluster-smoke: SIGKILL shard at $VICTIM_ADDR mid-flight"
+kill -9 "$VICTIM_PID"
+case "$VICTIM_PID" in
+"$S1_PID") S1_PID="" ;;
+"$S2_PID") S2_PID="" ;;
+"$S3_PID") S3_PID="" ;;
+esac
+
+echo "cluster-smoke: waiting for the pin job to complete elsewhere"
+wait "$CURL_PID" || fail "pin stream did not run to completion"
+CURL_PID=""
+RESULTS="$(grep -c '"event":"result"' "$WORK/pin.stream" || true)"
+[ "$RESULTS" = "1" ] || fail "pin stream has $RESULTS result events, want exactly 1"
+grep -q '"event":"error"' "$WORK/pin.stream" && fail "pin stream has an error event"
+STARTS="$(grep -c '"event":"started"' "$WORK/pin.stream" || true)"
+[ "$STARTS" = "1" ] || fail "pin stream has $STARTS started events, want exactly 1"
+
+echo "cluster-smoke: waiting for the remote sweep"
+SWEEP_EXIT=0
+wait "$SWEEP_PID" || SWEEP_EXIT=$?
+SWEEP_PID=""
+[ "$SWEEP_EXIT" -eq 0 ] || {
+	cat "$WORK/sweep.log" >&2 || true
+	fail "remote sweep exited $SWEEP_EXIT"
+}
+
+echo "cluster-smoke: comparing against a local serial run"
+"$WORK/fxabench" -n "$SMOKE_N" -experiment fig7 -format csv -q -j 1 >"$WORK/local.csv" ||
+	fail "local baseline sweep failed"
+diff -u "$WORK/local.csv" "$WORK/remote.csv" >/dev/null ||
+	fail "remote sweep differs from the local serial run (determinism broken)"
+
+STATS="$(curl -fsS "$ROUTER/v1/stats")"
+printf '%s' "$STATS" | grep -q '"resubmitted":0' && fail "router counted no resubmissions after a shard kill"
+printf '%s' "$STATS" | grep -q '"resubmitted":' || fail "router stats have no resubmitted counter"
+printf '%s' "$STATS" | grep -q '"shards_live":2' || fail "router still counts the killed shard live"
+
+echo "cluster-smoke: SIGTERM drain of router and surviving shards"
+fxad_kill_wait "$ROUTER_PID" TERM
+ROUTER_PID=""
+[ "$FXAD_EXIT" -eq 0 ] || fail "router exited $FXAD_EXIT on SIGTERM, want 0"
+for name in S1 S2 S3; do
+	eval "pid=\$${name}_PID"
+	[ -n "$pid" ] || continue
+	fxad_kill_wait "$pid" TERM
+	eval "${name}_PID="
+	[ "$FXAD_EXIT" -eq 0 ] || fail "shard $name exited $FXAD_EXIT on SIGTERM, want 0"
+done
+
+echo "cluster-smoke: PASS"

@@ -1,0 +1,47 @@
+# Shared helpers for the fxad smoke scripts (serve_smoke.sh,
+# cluster_smoke.sh, cluster_chaos.sh). Plain POSIX sh; source it after
+# defining fail().
+#
+# Every daemon binds 127.0.0.1:0 and prints "fxad: listening on <addr>"
+# once its listener is up, so scripts never pick ports themselves — no
+# collisions on busy CI runners, no retry loops on bind.
+
+# fxad_wait_addr <logfile> <pid>
+# Waits for the daemon behind <pid> to report its bound address in
+# <logfile> and prints it. Fails the script if the daemon dies first or
+# stays silent for ~10s.
+fxad_wait_addr() {
+	_lib_log="$1"
+	_lib_pid="$2"
+	_lib_addr=""
+	_lib_i=0
+	while [ "$_lib_i" -lt 100 ]; do
+		_lib_addr="$(sed -n 's/^fxad: listening on //p' "$_lib_log" 2>/dev/null | head -n1)"
+		[ -n "$_lib_addr" ] && break
+		kill -0 "$_lib_pid" 2>/dev/null || fail "daemon (pid $_lib_pid, log $_lib_log) died during startup"
+		sleep 0.1
+		_lib_i=$((_lib_i + 1))
+	done
+	[ -n "$_lib_addr" ] || fail "daemon (log $_lib_log) never reported its listen address"
+	printf '%s\n' "$_lib_addr"
+}
+
+# fxad_submit <base-url> <json-spec>
+# Submits a job spec and prints the job id.
+fxad_submit() {
+	_lib_reply="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$2" "$1/v1/jobs")" ||
+		fail "submit to $1 failed"
+	_lib_id="$(printf '%s' "$_lib_reply" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+	[ -n "$_lib_id" ] || fail "submit to $1 returned no job id: $_lib_reply"
+	printf '%s\n' "$_lib_id"
+}
+
+# fxad_kill_wait <pid> <signal>
+# Signals a daemon and reaps it, leaving the exit status in FXAD_EXIT.
+# Deliberately not `$(...)`-friendly: `wait` only works in the shell
+# that spawned the daemon, and a command substitution is a subshell.
+fxad_kill_wait() {
+	kill "-$2" "$1" 2>/dev/null || true
+	FXAD_EXIT=0
+	wait "$1" || FXAD_EXIT=$?
+}

@@ -24,6 +24,8 @@ fail() {
 	exit 1
 }
 
+. "$(dirname "$0")/fxad_lib.sh"
+
 echo "serve-smoke: building fxad"
 $GO build -o "$WORK/fxad" ./cmd/fxad
 
@@ -34,17 +36,7 @@ echo "serve-smoke: starting daemon"
 	>"$WORK/fxad.log" 2>&1 &
 FXAD_PID=$!
 
-# The daemon prints "fxad: listening on <addr>" once the listener is up.
-ADDR=""
-i=0
-while [ $i -lt 100 ]; do
-	ADDR="$(sed -n 's/^fxad: listening on //p' "$WORK/fxad.log" | head -n1)"
-	[ -n "$ADDR" ] && break
-	kill -0 "$FXAD_PID" 2>/dev/null || fail "daemon died during startup"
-	sleep 0.1
-	i=$((i + 1))
-done
-[ -n "$ADDR" ] || fail "daemon never reported its listen address"
+ADDR="$(fxad_wait_addr "$WORK/fxad.log" "$FXAD_PID")"
 BASE="http://$ADDR"
 echo "serve-smoke: daemon at $BASE"
 
